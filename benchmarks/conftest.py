@@ -1,0 +1,34 @@
+"""Benchmark-suite plumbing.
+
+Every benchmark regenerates one table/figure of the paper: it runs the
+corresponding ``repro.experiments`` module once under pytest-benchmark,
+prints the paper-style table, saves it under ``benchmarks/results/``,
+and asserts the *shape* of the result (orderings and rough factors, not
+absolute numbers).
+
+``REPRO_SCALE=<f>`` scales every database size for closer-to-paper runs.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record_result(results_dir):
+    """Print a rendered table and persist it under benchmarks/results/."""
+    def _record(name: str, text: str) -> None:
+        print()
+        print(text)
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+    return _record

@@ -1,0 +1,31 @@
+"""Extension bench: fragment aging under churn, GC vs no GC."""
+
+from repro.experiments import ext_aging as exp
+from repro.experiments.common import MiB, scaled_bytes
+
+DB_BYTES = scaled_bytes(4 * MiB)
+
+
+def test_ext_aging(benchmark, record_result):
+    result = benchmark.pedantic(
+        exp.run, kwargs={"db_bytes": DB_BYTES, "phases": 6},
+        rounds=1, iterations=1)
+    record_result("ext_aging", exp.render(result))
+
+    assert len(result.without_gc) == 6
+    assert len(result.with_gc) == 6
+
+    # churn keeps fragments/dead space alive without GC
+    assert any(s.fragment_share > 0 for s in result.without_gc)
+
+    # the GC actually does work over the run ...
+    assert result.gc_moves > 0
+    # ... and ends no worse than letting fragments accumulate
+    no_gc_final, gc_final = result.final_fragment_shares()
+    assert gc_final <= no_gc_final + 0.02
+
+    # dead bytes held inside live sets shrink under per-phase GC on
+    # average across the run
+    mean_dead_no_gc = sum(s.dead_bytes for s in result.without_gc) / 6
+    mean_dead_gc = sum(s.dead_bytes for s in result.with_gc) / 6
+    assert mean_dead_gc <= mean_dead_no_gc * 1.05

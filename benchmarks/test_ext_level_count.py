@@ -1,0 +1,35 @@
+"""Extension bench: level-count sweep on the set-aware engine.
+
+Context: SMRDB lowers WA with 2 levels *because* its runs are
+band-sized (few, huge flushes).  At a fixed (small) SSTable size the
+opposite happens -- with only 2 levels every L0 merge rewrites most of
+L1, so WA explodes while the compaction count collapses.  The sweep
+maps that trade-off; the paper's design point (7 levels + sets) sits at
+the low-WA, small-compaction end.
+"""
+
+from repro.experiments import ext_level_count as exp
+from repro.experiments.common import MiB, scaled_bytes
+
+DB_BYTES = scaled_bytes(6 * MiB)
+
+
+def test_ext_level_count(benchmark, record_result):
+    result = benchmark.pedantic(
+        exp.run, kwargs={"db_bytes": DB_BYTES, "levels": (2, 3, 4, 7)},
+        rounds=1, iterations=1)
+    record_result("ext_level_count", exp.render(result))
+
+    by_levels = {p.levels: p for p in result.points}
+
+    # two levels with small tables: few, enormous, WA-heavy compactions
+    assert by_levels[2].wa > by_levels[7].wa
+    assert by_levels[2].compactions < by_levels[7].compactions
+    assert by_levels[2].avg_compaction_bytes > \
+        5 * by_levels[7].avg_compaction_bytes
+
+    # beyond the depth the database actually needs, nothing changes
+    assert abs(by_levels[4].wa - by_levels[7].wa) < 0.5
+
+    # and the throughput winner at this scale is the deep tree
+    assert by_levels[7].ops_per_sec > by_levels[2].ops_per_sec

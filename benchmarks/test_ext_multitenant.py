@@ -1,0 +1,29 @@
+"""Extension bench: consolidation of SEALDB tenants on one drive."""
+
+from repro.experiments import ext_multitenant as exp
+from repro.experiments.common import MiB, scaled_bytes
+
+DB_BYTES = scaled_bytes(2 * MiB)   # per tenant
+
+
+def test_ext_multitenant(benchmark, record_result):
+    result = benchmark.pedantic(
+        exp.run, kwargs={"db_bytes": DB_BYTES, "tenant_counts": (1, 2, 4)},
+        rounds=1, iterations=1)
+    record_result("ext_multitenant", exp.render(result))
+
+    solo, two, four = result.points
+
+    # SMR safety holds for every tenant on the shared shingled surface
+    for point in result.points:
+        assert point.awa == 1.0
+
+    # time sharing: per-tenant throughput scales down roughly with N ...
+    assert two.per_tenant_ops < solo.per_tenant_ops
+    assert four.per_tenant_ops < two.per_tenant_ops
+
+    # ... but SEALDB's large sequential units keep the *aggregate*
+    # within ~15% of the solo rate -- consolidation is nearly free in
+    # head time, the paper's density story
+    assert four.aggregate_ops > 0.85 * solo.aggregate_ops
+    assert four.aggregate_ops < 1.3 * solo.aggregate_ops

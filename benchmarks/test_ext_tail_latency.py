@@ -1,0 +1,28 @@
+"""Extension bench: put-latency tails across the three stores."""
+
+from repro.experiments import ext_tail_latency as exp
+from repro.experiments.common import MiB, scaled_bytes
+
+DB_BYTES = scaled_bytes(8 * MiB)
+
+
+def test_ext_tail_latency(benchmark, record_result):
+    result = benchmark.pedantic(
+        exp.run, kwargs={"db_bytes": DB_BYTES}, rounds=1, iterations=1)
+    record_result("ext_tail_latency", exp.render(result))
+
+    leveldb = result.profiles["LevelDB"]
+    smrdb = result.profiles["SMRDB"]
+    sealdb = result.profiles["SEALDB"]
+
+    # the typical put is cheap everywhere (a WAL append)
+    for p in result.profiles.values():
+        assert p.percentiles[50.0] < 0.05
+
+    # SEALDB's efficient compactions shrink the tail vs LevelDB
+    assert sealdb.percentiles[99.9] < leveldb.percentiles[99.9]
+    assert sealdb.max_latency < leveldb.max_latency
+
+    # SMRDB's giant merges produce the worst single stall of all
+    assert smrdb.max_latency > sealdb.max_latency
+    assert smrdb.max_latency > leveldb.max_latency

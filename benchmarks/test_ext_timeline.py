@@ -1,0 +1,32 @@
+"""Extension bench: throughput timelines during random load."""
+
+from repro.experiments import ext_timeline as exp
+from repro.experiments.common import MiB, scaled_bytes
+
+DB_BYTES = scaled_bytes(8 * MiB)
+
+
+def test_ext_timeline(benchmark, record_result):
+    result = benchmark.pedantic(
+        exp.run, kwargs={"db_bytes": DB_BYTES, "windows": 50},
+        rounds=1, iterations=1)
+    record_result("ext_timeline", exp.render(result))
+
+    leveldb = result.timelines["LevelDB"]
+    sealdb = result.timelines["SEALDB"]
+    smrdb = result.timelines["SMRDB"]
+
+    # every store's timeline was sampled end to end
+    for t in result.timelines.values():
+        assert len(t.series) >= 45
+
+    # SEALDB is faster in the mean AND its worst window beats LevelDB's:
+    # same compaction schedule, much shorter stalls
+    assert sealdb.mean > leveldb.mean
+    assert sealdb.worst_window > leveldb.worst_window
+
+    # SMRDB's cliffs: its worst window (a giant merge) is the deepest
+    # dip relative to its own typical pace
+    smrdb_spread = smrdb.best_window / max(smrdb.worst_window, 1e-9)
+    sealdb_spread = sealdb.best_window / max(sealdb.worst_window, 1e-9)
+    assert smrdb_spread > sealdb_spread

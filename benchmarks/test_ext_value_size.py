@@ -1,0 +1,19 @@
+"""Extension bench: the SEALDB speedup holds across value sizes."""
+
+from repro.experiments import ext_value_size as exp
+from repro.experiments.common import MiB, scaled_bytes
+
+DB_BYTES = scaled_bytes(4 * MiB)
+
+
+def test_ext_value_size(benchmark, record_result):
+    result = benchmark.pedantic(
+        exp.run, kwargs={"db_bytes": DB_BYTES}, rounds=1, iterations=1)
+    record_result("ext_value_size", exp.render(result))
+
+    assert len(result.points) == 4
+    # SEALDB wins random load at every value size
+    for point in result.points:
+        assert point.speedup > 1.5, f"value={point.value_size}"
+    # the advantage is substantial somewhere in the sweep
+    assert max(p.speedup for p in result.points) > 2.5

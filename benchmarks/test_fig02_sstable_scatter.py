@@ -1,0 +1,29 @@
+"""Fig. 2: LevelDB-on-ext4 compaction outputs scatter across the disk."""
+
+from repro.experiments import fig02_sstable_scatter as exp
+from repro.experiments.common import MiB, scaled_bytes
+
+DB_BYTES = scaled_bytes(6 * MiB)
+
+
+def test_fig02_sstable_scatter(benchmark, record_result):
+    result = benchmark.pedantic(exp.run, kwargs={"db_bytes": DB_BYTES},
+                                rounds=1, iterations=1)
+    record_result("fig02_sstable_scatter", exp.render(result))
+    exp.save_csv(result, "benchmarks/results/fig02_sstable_scatter.csv")
+
+    # hundreds of compactions happen during a random load (paper: ~600
+    # for 10 GB; scales with DB/SSTable ratio)
+    assert result.num_compactions > 50
+    # the outputs of a single compaction scatter widely: on average one
+    # compaction's I/O spans a large fraction of the used disk region
+    assert result.mean_coverage > 0.25
+    # and virtually no compaction writes one contiguous run
+    multi = [row for row in result.offsets if len(row) > 2]
+    contiguous = 0
+    for row in multi:
+        ordered = sorted(row)
+        gaps = [b - a for a, b in zip(ordered, ordered[1:])]
+        if all(g < 64 * 1024 for g in gaps):
+            contiguous += 1
+    assert contiguous / max(1, len(multi)) < 0.2

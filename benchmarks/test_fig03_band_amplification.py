@@ -1,0 +1,30 @@
+"""Fig. 3: bands touched per compaction and WA/MWA vs band size."""
+
+from repro.experiments import fig03_band_amplification as exp
+from repro.experiments.common import MiB, scaled_bytes
+
+DB_BYTES = scaled_bytes(5 * MiB)
+
+
+def test_fig03_band_amplification(benchmark, record_result):
+    result = benchmark.pedantic(exp.run, kwargs={"db_bytes": DB_BYTES},
+                                rounds=1, iterations=1)
+    record_result("fig03_band_amplification", exp.render(result))
+    exp.save_csv(result, "benchmarks/results/fig03_band_amplification.csv")
+
+    points = result.points
+    assert len(points) == 5
+
+    # (a) each compaction writes several SSTables into several bands
+    mid = points[2]  # the paper's 40 MB reference point (10x SSTable)
+    assert 4 <= mid.avg_sstables_per_compaction <= 18   # paper: 9.83
+    assert 2 <= mid.avg_bands_per_compaction <= 12      # paper: 6.22
+
+    # (b) WA is band-size independent; AWA/MWA grow with band size
+    was = [p.wa for p in points]
+    assert max(was) - min(was) < 0.5
+    assert points[-1].awa > points[0].awa
+    assert points[-1].mwa > points[0].mwa
+    # at the 40 MB-equivalent point MWA is several times WA
+    # (paper: 9.83 -> 52.85)
+    assert mid.mwa > 3 * mid.wa

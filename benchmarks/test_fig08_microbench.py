@@ -1,0 +1,39 @@
+"""Fig. 8: basic performance (seq/random x read/write), 3 stores."""
+
+from repro.experiments import fig08_microbench as exp
+from repro.experiments.common import MiB, scaled_bytes
+
+# SMRDB's whole-level merges grow with the database; the paper's
+# crossover (SEALDB 1.67x SMRDB) appears at the calibrated 16 MiB scale
+DB_BYTES = scaled_bytes(16 * MiB)
+READ_OPS = 2500
+
+
+def test_fig08_microbench(benchmark, record_result):
+    result = benchmark.pedantic(
+        exp.run, kwargs={"db_bytes": DB_BYTES, "read_ops": READ_OPS},
+        rounds=1, iterations=1)
+    record_result("fig08_microbench", exp.render(result))
+
+    norm = result.normalized
+
+    # random write: SEALDB > SMRDB > LevelDB (paper 3.42x / ~2x),
+    # with SEALDB roughly 1.7x SMRDB
+    assert norm["fillrandom"]["SEALDB"] > norm["fillrandom"]["SMRDB"] > 1.2
+    assert 2.0 <= norm["fillrandom"]["SEALDB"] <= 6.5          # paper 3.42
+    ratio = norm["fillrandom"]["SEALDB"] / norm["fillrandom"]["SMRDB"]
+    assert 1.1 <= ratio <= 2.6                                 # paper 1.67
+
+    # sequential write: SEALDB ~ SMRDB, both above LevelDB
+    assert norm["fillseq"]["SEALDB"] > 1.05
+    assert norm["fillseq"]["SMRDB"] > 1.05
+    assert abs(norm["fillseq"]["SEALDB"] - norm["fillseq"]["SMRDB"]) < 0.5
+
+    # sequential read: SEALDB at or above LevelDB (paper 3.96x; the
+    # positional model reproduces the direction, not the full factor --
+    # see EXPERIMENTS.md)
+    assert norm["readseq"]["SEALDB"] > 0.95
+
+    # random read: no store collapses below LevelDB
+    assert norm["readrandom"]["SEALDB"] > 0.8
+    assert norm["readrandom"]["SMRDB"] > 0.8

@@ -1,0 +1,33 @@
+"""Fig. 9: YCSB workloads A-F on the three stores."""
+
+from repro.experiments import fig09_ycsb as exp
+from repro.experiments.common import MiB, scaled_bytes
+
+DB_BYTES = scaled_bytes(12 * MiB)
+
+
+def test_fig09_ycsb(benchmark, record_result):
+    result = benchmark.pedantic(exp.run, kwargs={"db_bytes": DB_BYTES},
+                                rounds=1, iterations=1)
+    record_result("fig09_ycsb", exp.render(result))
+
+    norm = result.normalized
+
+    # the load phase is random-write dominated: SEALDB leads (Fig. 9's
+    # "larger performance improvement in random load/write dominated
+    # workloads"); SMRDB sits between SEALDB and LevelDB
+    assert norm["load"]["SEALDB"] > 1.5
+    assert norm["load"]["SEALDB"] > norm["load"]["SMRDB"] > 0.9
+
+    # update-heavy workload A: SEALDB ahead of LevelDB
+    assert norm["A"]["SEALDB"] > 1.0
+
+    # read-dominated workloads never collapse below LevelDB
+    for w in ("B", "C", "D"):
+        assert norm[w]["SEALDB"] > 0.8
+        assert norm[w]["SMRDB"] > 0.8
+
+    # every workload completed its operations on every store
+    for workload, by_store in result.results.items():
+        for store, r in by_store.items():
+            assert r.ops > 0 and r.sim_seconds > 0

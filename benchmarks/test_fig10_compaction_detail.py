@@ -1,0 +1,35 @@
+"""Fig. 10: compaction latency trace and average compaction size."""
+
+from repro.experiments import fig10_compaction_detail as exp
+from repro.experiments.common import MiB, scaled_bytes
+
+# large enough that SMRDB's rare whole-level merges dominate its total
+# compaction latency (the paper's 1.89x-of-SEALDB regime)
+DB_BYTES = scaled_bytes(16 * MiB)
+
+
+def test_fig10_compaction_detail(benchmark, record_result):
+    result = benchmark.pedantic(exp.run, kwargs={"db_bytes": DB_BYTES},
+                                rounds=1, iterations=1)
+    record_result("fig10_compaction_detail", exp.render(result))
+
+    leveldb = result.details["LevelDB"].summary
+    smrdb = result.details["SMRDB"].summary
+    sealdb = result.details["SEALDB"].summary
+
+    # (a) SEALDB and LevelDB share a similar number of compactions ...
+    assert abs(sealdb.count - leveldb.count) / leveldb.count < 0.3
+    # ... but SEALDB's total compaction latency is several times lower
+    # (paper: 4.30x)
+    assert leveldb.total_latency / sealdb.total_latency > 2.0
+
+    # SMRDB: far fewer compactions, enormous average size, and a larger
+    # total latency than SEALDB (paper: 1.89x)
+    assert smrdb.count < leveldb.count / 10
+    assert smrdb.avg_input_bytes > 10 * sealdb.avg_input_bytes  # paper 900 vs 27 MB
+    assert smrdb.total_latency > sealdb.total_latency
+
+    # (b) SEALDB's average compaction size equals its average set size
+    avg_set = result.details["SEALDB"].avg_set_size
+    assert avg_set is not None
+    assert abs(sealdb.avg_input_bytes - avg_set) / sealdb.avg_input_bytes < 0.6

@@ -1,0 +1,21 @@
+"""Fig. 11: SEALDB writes every compaction as one contiguous set."""
+
+from repro.experiments import fig11_set_layout as exp
+from repro.experiments.common import MiB, scaled_bytes
+
+DB_BYTES = scaled_bytes(6 * MiB)
+
+
+def test_fig11_set_layout(benchmark, record_result):
+    result = benchmark.pedantic(exp.run, kwargs={"db_bytes": DB_BYTES},
+                                rounds=1, iterations=1)
+    record_result("fig11_set_layout", exp.render(result))
+    exp.save_csv(result, "benchmarks/results/fig11_set_layout.csv")
+
+    # the defining property: every compaction's outputs form one
+    # contiguous physical run (compare Fig. 2's ~0 %)
+    assert result.contiguous_fraction > 0.98
+    assert result.num_compactions > 50
+    # dynamic bands keep the footprint bounded: well under the
+    # worst-case WA x database size that no-reuse appending would need
+    assert result.footprint < 2.5 * result.db_bytes

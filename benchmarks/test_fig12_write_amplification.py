@@ -1,0 +1,31 @@
+"""Fig. 12: WA, AWA, and MWA for the three stores."""
+
+from repro.experiments import fig12_write_amplification as exp
+from repro.experiments.common import MiB, scaled_bytes
+
+DB_BYTES = scaled_bytes(8 * MiB)
+
+
+def test_fig12_write_amplification(benchmark, record_result):
+    result = benchmark.pedantic(exp.run, kwargs={"db_bytes": DB_BYTES},
+                                rounds=1, iterations=1)
+    record_result("fig12_write_amplification", exp.render(result))
+
+    wa = {s: f[0] for s, f in result.factors.items()}
+    awa = {s: f[1] for s, f in result.factors.items()}
+    mwa = {s: f[2] for s, f in result.factors.items()}
+
+    # (a) sets do not change WA: SEALDB == LevelDB exactly (same engine
+    # schedule); SMRDB's 2-level structure lowers WA
+    assert abs(wa["SEALDB"] - wa["LevelDB"]) / wa["LevelDB"] < 0.1
+    assert wa["SMRDB"] < wa["LevelDB"]
+
+    # AWA: eliminated by SMRDB and SEALDB, large for LevelDB
+    assert awa["SEALDB"] == 1.0
+    assert awa["SMRDB"] == 1.0
+    assert awa["LevelDB"] > 3.0        # paper: 5.37 at the 10x band
+
+    # (b) MWA: SEALDB several times lower than LevelDB (paper: 6.70x)
+    reduction = result.mwa_reduction_vs_leveldb()
+    assert 3.0 <= reduction <= 12.0
+    assert mwa["LevelDB"] > mwa["SEALDB"] > mwa["SMRDB"] * 0.9

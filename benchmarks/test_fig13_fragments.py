@@ -1,0 +1,26 @@
+"""Fig. 13: dynamic-band layout and fragment share."""
+
+from repro.experiments import fig13_fragments as exp
+from repro.experiments.common import MiB, scaled_bytes
+
+DB_BYTES = scaled_bytes(8 * MiB)
+
+
+def test_fig13_fragments(benchmark, record_result):
+    result = benchmark.pedantic(exp.run, kwargs={"db_bytes": DB_BYTES},
+                                rounds=1, iterations=1)
+    record_result("fig13_fragments", exp.render(result))
+
+    # the layout decomposes into multiple variable-size dynamic bands
+    assert result.num_bands > 3
+    assert len(set(result.band_sizes)) > 1   # sizes actually vary
+
+    # fragments exist but take only a small share of the occupied space
+    # (paper: 9.32%)
+    assert 0.0 < result.fragment_share < 0.30
+
+    # every fragment is, by definition, no larger than the average set
+    assert result.fragment_bytes <= result.fragment_count * result.avg_set_size
+
+    # live data fits inside the occupied banded area
+    assert result.allocated_bytes <= result.occupied_bytes

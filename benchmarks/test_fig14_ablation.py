@@ -1,0 +1,29 @@
+"""Fig. 14: contribution analysis of sets vs dynamic bands."""
+
+from repro.experiments import fig14_ablation as exp
+from repro.experiments.common import MiB, scaled_bytes
+
+DB_BYTES = scaled_bytes(8 * MiB)
+READ_OPS = 2000
+
+
+def test_fig14_ablation(benchmark, record_result):
+    result = benchmark.pedantic(
+        exp.run, kwargs={"db_bytes": DB_BYTES, "read_ops": READ_OPS},
+        rounds=1, iterations=1)
+    record_result("fig14_ablation", exp.render(result))
+
+    norm = result.normalized
+
+    # monotone random-write ladder: LevelDB < LevelDB+sets < SEALDB
+    assert 1.0 < norm["fillrandom"]["LevelDB+sets"] < norm["fillrandom"]["SEALDB"]
+
+    # sets alone deliver a substantial share of the random-write gain
+    # (paper: ~41%)
+    share = result.sets_contribution("fillrandom")
+    assert 0.10 <= share <= 0.85
+
+    # sequential write gains come from dynamic bands, not sets: the
+    # sets-only configuration stays close to LevelDB while SEALDB leads
+    assert norm["fillseq"]["LevelDB+sets"] < norm["fillseq"]["SEALDB"]
+    assert norm["fillseq"]["LevelDB+sets"] < 1.25

@@ -1,0 +1,21 @@
+"""Table II: raw drive characteristics of the two timing models."""
+
+from repro.experiments import table02_drive_params as exp
+
+
+def test_table02_drive_params(benchmark, record_result):
+    result = benchmark.pedantic(exp.run, rounds=1, iterations=1)
+    record_result("table02_drive_params", exp.render(result))
+
+    hdd, smr = result.hdd, result.smr
+    # sequential rates equal the configured drive profiles (Table II)
+    assert abs(hdd.seq_read_mbps - 169) < 5
+    assert abs(hdd.seq_write_mbps - 155) < 5
+    assert abs(smr.seq_read_mbps - 165) < 5
+    assert abs(smr.seq_write_mbps - 148) < 5
+    # random 4K IOPS within ~20% of the paper's measurements
+    assert 51 <= hdd.rand_read_iops <= 77
+    assert 56 <= smr.rand_read_iops <= 84
+    assert 114 <= hdd.rand_write_iops_max <= 172
+    # SMR random writes are bimodal: slow RMWs far below fast appends
+    assert smr.rand_write_iops_min < smr.rand_write_iops_max / 5

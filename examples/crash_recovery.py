@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Crash recovery: WAL replay and manifest reload on SEALDB.
+
+The engine persists three things on the simulated drive: table data
+(through dynamic bands), a manifest log of version edits, and a
+write-ahead log of not-yet-flushed updates.  This example writes a
+batch of data, "crashes" (drops all in-memory state), recovers from the
+drive, and verifies nothing is lost -- including updates that only ever
+lived in the WAL.
+
+Run:  python examples/crash_recovery.py
+"""
+
+from repro import SealDB, SMALL_PROFILE
+
+
+def main() -> None:
+    db = SealDB(SMALL_PROFILE)
+
+    # enough data that tables, manifest entries, and compactions exist
+    for i in range(5000):
+        db.put(b"stable%08d" % i, b"value-%d" % i)
+
+    # a few updates that have NOT been flushed: they exist only in the WAL
+    db.put(b"wal-only-1", b"survives")
+    db.put(b"wal-only-2", b"also survives")
+    db.delete(b"stable%08d" % 42)
+
+    tables_before = db.db.versions.current.num_files()
+    seq_before = db.db.last_sequence
+    print(f"before crash: {tables_before} tables, sequence {seq_before:,}")
+
+    # --- crash ------------------------------------------------------------
+    # Drop every in-memory structure; only the simulated drive survives.
+    db.reopen()
+
+    print(f"after recovery: {db.db.versions.current.num_files()} tables, "
+          f"sequence {db.db.last_sequence:,}")
+    assert db.db.last_sequence == seq_before
+
+    # flushed data, WAL-only data, and WAL-only deletes all recovered
+    assert db.get(b"stable%08d" % 7) == b"value-7"
+    assert db.get(b"wal-only-1") == b"survives"
+    assert db.get(b"wal-only-2") == b"also survives"
+    assert db.get(b"stable%08d" % 42) is None
+    print("all WAL-only updates and deletes recovered")
+
+    # and the store keeps working
+    db.put(b"post-crash", b"fine")
+    assert db.get(b"post-crash") == b"fine"
+    scanned = sum(1 for _ in db.scan(b"stable", b"stablf"))
+    print(f"scan after recovery sees {scanned:,} stable keys")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""SEALDB reproduction: a set-aware LSM key-value store on simulated
+SMR drives with dynamic bands.
+
+Public entry points:
+
+* :class:`repro.SealDB` -- the paper's store (sets + dynamic bands on a
+  raw HM-SMR drive).
+* :class:`repro.LevelDBStore`, :class:`repro.SMRDBStore`,
+  :class:`repro.LevelDBWithSets` -- the comparison stores.
+* :func:`repro.make_store` -- factory over all four.
+* :mod:`repro.workloads` -- micro-benchmarks and YCSB.
+* :mod:`repro.experiments` -- one module per paper table/figure.
+
+Quick start::
+
+    from repro import SealDB
+    db = SealDB()
+    db.put(b"key", b"value")
+    assert db.get(b"key") == b"value"
+"""
+
+from repro.baselines import LevelDBStore, LevelDBWithSets, SMRDBStore
+from repro.core import SealDB
+from repro.harness import (
+    DEFAULT_PROFILE,
+    SMALL_PROFILE,
+    ScaleProfile,
+    make_store,
+)
+from repro.kvstore import KVStoreBase
+from repro.lsm import DB, Options
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DB",
+    "DEFAULT_PROFILE",
+    "KVStoreBase",
+    "LevelDBStore",
+    "LevelDBWithSets",
+    "Options",
+    "SMALL_PROFILE",
+    "SMRDBStore",
+    "ScaleProfile",
+    "SealDB",
+    "__version__",
+    "make_store",
+]

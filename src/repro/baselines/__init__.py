@@ -1,0 +1,8 @@
+"""The paper's comparison stores, plus the ZoneKV extension."""
+
+from repro.baselines.leveldb import LevelDBStore
+from repro.baselines.smrdb import SMRDBStore
+from repro.baselines.leveldb_sets import LevelDBWithSets
+from repro.baselines.zonekv import ZoneKVStore
+
+__all__ = ["LevelDBStore", "LevelDBWithSets", "SMRDBStore", "ZoneKVStore"]

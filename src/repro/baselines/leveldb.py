@@ -1,0 +1,69 @@
+"""The LevelDB baseline: stock engine on ext4 over a fixed-band SMR drive.
+
+This is the paper's primary comparison point: SSTables are placed by an
+ext4-like allocator, so the files of one compaction scatter over the
+used region (Fig. 2), and every write below a band's frontier costs a
+band read-modify-write (the source of AWA, Fig. 3).
+
+``drive_kind="hdd"`` reproduces the Fig. 2 motivation setup (plain HDD,
+no band RMW).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+from repro.fs.ext4sim import Ext4Storage
+from repro.harness.profiles import DEFAULT_PROFILE, ScaleProfile
+from repro.kvstore import KVStoreBase
+from repro.smr.drive import ConventionalDrive
+from repro.smr.fixed_band import FixedBandSMRDrive
+from repro.smr.timing import HDD_PROFILE, SMR_PROFILE, SimClock
+
+
+class LevelDBStore(KVStoreBase):
+    """Stock LevelDB configuration."""
+
+    name = "LevelDB"
+
+    def __init__(self, profile: ScaleProfile = DEFAULT_PROFILE,
+                 capacity: int | None = None,
+                 drive_kind: str = "smr",
+                 band_size: int | None = None,
+                 clock: SimClock | None = None) -> None:
+        self.profile = profile
+        cap = capacity if capacity is not None else profile.capacity
+        band = band_size if band_size is not None else profile.band_size
+        if drive_kind == "smr":
+            drive = FixedBandSMRDrive(cap, band,
+                                      profile=SMR_PROFILE.scaled(profile.io_scale),
+                                      clock=clock)
+        elif drive_kind == "hdd":
+            drive = ConventionalDrive(cap,
+                                      profile=HDD_PROFILE.scaled(profile.io_scale),
+                                      clock=clock)
+        elif drive_kind == "dm-smr":
+            # drive-managed SMR with a persistent media cache, for the
+            # Section II-C claim that a media cache does not fix MWA
+            from repro.smr.drive_managed import DriveManagedSMRDrive
+            drive = DriveManagedSMRDrive(
+                cap, band, cache_size=cap // 50,
+                profile=SMR_PROFILE.scaled(profile.io_scale), clock=clock)
+        else:
+            raise ReproError(f"unknown drive kind {drive_kind!r}")
+        # On the DM-SMR model the low LBAs stand in for the drive's
+        # internal media cache; table data must be placed past it (the
+        # WAL/meta regions use buffered writes and coexist harmlessly).
+        gap = 0
+        native_start = getattr(drive, "native_start", 0)
+        reserved = profile.wal_region + profile.meta_region
+        if native_start > reserved:
+            gap = (native_start - reserved + 1) // 2
+        storage = Ext4Storage(
+            drive,
+            wal_size=profile.wal_region,
+            meta_size=profile.meta_region,
+            block_size=profile.block_size,
+            region_gap=gap,
+        )
+        options = profile.options()
+        super().__init__(drive, storage, options)

@@ -1,0 +1,42 @@
+"""The Fig. 14 ablation: LevelDB with sets but without dynamic bands.
+
+The engine groups compaction outputs and prefetches inputs (the *set*
+technique), and the ext4 layer honours the grouping by allocating each
+group one contiguous run when it can -- but the store still runs on the
+fixed-band SMR drive through the filesystem, so the auxiliary write
+amplification of band read-modify-writes remains.
+"""
+
+from __future__ import annotations
+
+from repro.fs.ext4sim import Ext4Storage
+from repro.harness.profiles import DEFAULT_PROFILE, ScaleProfile
+from repro.kvstore import KVStoreBase
+from repro.smr.fixed_band import FixedBandSMRDrive
+from repro.smr.timing import SMR_PROFILE, SimClock
+
+
+class LevelDBWithSets(KVStoreBase):
+    """LevelDB + sets (no dynamic bands)."""
+
+    name = "LevelDB+sets"
+
+    def __init__(self, profile: ScaleProfile = DEFAULT_PROFILE,
+                 capacity: int | None = None,
+                 band_size: int | None = None,
+                 clock: SimClock | None = None) -> None:
+        self.profile = profile
+        cap = capacity if capacity is not None else profile.capacity
+        band = band_size if band_size is not None else profile.band_size
+        drive = FixedBandSMRDrive(cap, band,
+                                  profile=SMR_PROFILE.scaled(profile.io_scale),
+                                  clock=clock)
+        storage = Ext4Storage(
+            drive,
+            wal_size=profile.wal_region,
+            meta_size=profile.meta_region,
+            block_size=profile.block_size,
+            contiguous_groups=True,
+        )
+        options = profile.options(use_sets=True)
+        super().__init__(drive, storage, options)

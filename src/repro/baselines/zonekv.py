@@ -1,0 +1,51 @@
+"""ZoneKV: the LSM engine on a standardized zoned device (extension).
+
+Not one of the paper's configurations -- this is the *modern*
+counterfactual: instead of SEALDB's raw-drive dynamic bands, run the
+same set-aware engine on a ZBC/ZNS zoned device through a ZenFS-style
+zone allocator.  The comparison (``benchmarks/test_ablation_zoned.py``)
+quantifies the paper's Section III-B2 argument that fixed zones/bands
+waste space and force cleaning work that dynamic bands avoid.
+"""
+
+from __future__ import annotations
+
+from repro.fs.zonefs import ZoneStorage
+from repro.harness.profiles import DEFAULT_PROFILE, ScaleProfile
+from repro.kvstore import KVStoreBase
+from repro.smr.timing import SMR_PROFILE, SimClock
+from repro.smr.zoned import ZonedDrive
+
+
+class ZoneKVStore(KVStoreBase):
+    """Set-aware LSM over append-only zones with zone GC."""
+
+    name = "ZoneKV"
+
+    def __init__(self, profile: ScaleProfile = DEFAULT_PROFILE,
+                 capacity: int | None = None,
+                 zone_size: int | None = None,
+                 clock: SimClock | None = None) -> None:
+        self.profile = profile
+        cap = capacity if capacity is not None else profile.capacity
+        # a zone is much larger than an SMR band (real ZNS zones are
+        # ~1-2 GB vs 15-40 MB bands); default 4 bands' worth
+        zone = zone_size if zone_size is not None else profile.band_size * 4
+        drive = ZonedDrive(cap, zone,
+                           profile=SMR_PROFILE.scaled(profile.io_scale),
+                           clock=clock)
+        storage = ZoneStorage(
+            drive,
+            wal_size=min(profile.wal_region, zone),
+            meta_size=min(profile.meta_region, zone),
+        )
+        options = profile.options(use_sets=True)
+        super().__init__(drive, storage, options)
+
+    @property
+    def zone_gc_runs(self) -> int:
+        return self.storage.gc_runs
+
+    @property
+    def zone_gc_bytes(self) -> int:
+        return self.storage.gc_bytes_moved

@@ -1,0 +1,30 @@
+"""SEALDB: the paper's contribution.
+
+* :mod:`repro.core.freespace` -- the free-space list: a sorted array of
+  size classes, each holding a doubly-linked list of free regions
+  (Section III-B2 of the paper), giving ``O(log n)`` allocation.
+* :mod:`repro.core.dynamic_band` -- dynamic-band management: append,
+  insert under Eq. 1 (``S_free >= S_req + S_guard``), split, coalesce,
+  and the derived dynamic-band / fragment layout reporting.
+* :mod:`repro.core.sets` -- the set registry: groups of SSTables written
+  together by one compaction, invalidated member-by-member and
+  reclaimed when the whole set fades.
+* :mod:`repro.core.storage` -- the direct-on-disk placement policy
+  combining the two (name -> PBA indirection, contiguous set writes).
+* :mod:`repro.core.sealdb` -- the user-facing :class:`SealDB` facade.
+"""
+
+from repro.core.freespace import FreeSpaceList
+from repro.core.dynamic_band import DynamicBandManager
+from repro.core.sets import SetInfo, SetRegistry
+from repro.core.storage import DynamicBandStorage
+from repro.core.sealdb import SealDB
+
+__all__ = [
+    "DynamicBandManager",
+    "DynamicBandStorage",
+    "FreeSpaceList",
+    "SealDB",
+    "SetInfo",
+    "SetRegistry",
+]

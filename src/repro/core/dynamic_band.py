@@ -1,0 +1,203 @@
+"""Dynamic-band management (Section III-B/C of the paper).
+
+The manager owns the table area ``[data_start, capacity)`` of a raw
+HM-SMR drive and serves allocations for *sets* (compaction output
+groups):
+
+* **Append** -- with no suitable free region, data goes to the tail of
+  the valid area (the *residual*, not-yet-banded space).  Sequential
+  appends never need guard regions because the shingle damage zone
+  falls into unwritten space.
+* **Insert** -- a freed region can be reused when Eq. 1 holds:
+  ``S_free >= S_req + S_guard``.  Data is placed at the region start;
+  the remainder (which is always >= the guard size) goes back to the
+  free-space list.  The last ``guard`` bytes of any free region can
+  therefore never be consumed -- they are the *guard region* protecting
+  the valid data downstream, materialized lazily exactly as in Fig. 7.
+* **Delete/Coalesce** -- freeing a set trims the drive and merges the
+  new region with free neighbours; a region reaching the valid tail is
+  returned to the residual space instead.
+* **Split** -- implicit in insert: a larger region is split into the
+  used part and a remainder region.
+
+*Dynamic bands* are a derived notion: maximal runs of contiguous
+allocated space separated by gaps.  :meth:`bands` reconstructs them for
+the Fig. 13 layout analysis; :meth:`fragments` reports the small free
+regions that can no longer serve a set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AllocationError, InvariantViolation
+from repro.core.freespace import FreeSpaceList
+from repro.smr.extent import Extent, ExtentMap
+from repro.smr.raw_hmsmr import RawHMSMRDrive
+
+
+@dataclass
+class BandInfo:
+    """One derived dynamic band: a contiguous run of allocated space."""
+
+    start: int
+    end: int
+    num_allocations: int
+
+    @property
+    def length(self) -> int:
+        return self.end - self.start
+
+
+class DynamicBandManager:
+    """Allocator implementing the paper's dynamic-band policy."""
+
+    def __init__(self, drive: RawHMSMRDrive, data_start: int,
+                 class_unit: int, guard_size: int | None = None) -> None:
+        self.drive = drive
+        self.data_start = data_start
+        self.guard_size = drive.guard_size if guard_size is None else guard_size
+        self.free_list = FreeSpaceList(class_unit)
+        #: allocated (live) extents, for layout reporting and invariants
+        self.allocated = ExtentMap()
+        #: tail of the banded area; beyond lies the residual space
+        self.tail = data_start
+        # counters for the cost analysis (Section IV-C)
+        self.appends = 0
+        self.inserts = 0
+        self.splits = 0
+        self.coalesces = 0
+
+    # -- allocation -------------------------------------------------------
+
+    def allocate(self, nbytes: int) -> int:
+        """Reserve ``nbytes`` of safe-to-write space; returns its offset."""
+        if nbytes <= 0:
+            raise ValueError("allocation size must be positive")
+        region = self.free_list.allocate(nbytes + self.guard_size)
+        if region is not None:
+            offset = region.start
+            remainder = Extent(region.start + nbytes, region.end)
+            if remainder.length > 0:
+                self.free_list.insert(remainder)
+                self.splits += 1
+            self.inserts += 1
+        else:
+            if self.tail + nbytes > self.drive.capacity:
+                raise AllocationError(
+                    f"disk full: need {nbytes} bytes at tail {self.tail}, "
+                    f"capacity {self.drive.capacity}"
+                )
+            offset = self.tail
+            self.tail += nbytes
+            self.appends += 1
+        self.allocated.add(offset, offset + nbytes)
+        return offset
+
+    def free(self, offset: int, nbytes: int) -> None:
+        """Release ``[offset, offset+nbytes)`` and coalesce neighbours."""
+        end = offset + nbytes
+        if not self.allocated.contains_range(offset, end):
+            raise InvariantViolation(
+                f"freeing unallocated range [{offset}, {end})"
+            )
+        self.allocated.remove(offset, end)
+        self.drive.trim(offset, nbytes)
+
+        start, stop = offset, end
+        # merge with a free region ending exactly at our start
+        left = self._free_region_ending_at(start)
+        if left is not None:
+            self.free_list.remove(left)
+            start = left.start
+            self.coalesces += 1
+        # merge with a free region starting exactly at our end
+        right = self.free_list.region_at(stop)
+        if right is not None:
+            self.free_list.remove(right)
+            stop = right.end
+            self.coalesces += 1
+        if stop == self.tail:
+            # the region reaches the banded tail: return it to the
+            # residual (never-banded) space instead of the free list
+            self.tail = start
+            return
+        self.free_list.insert(Extent(start, stop))
+
+    def _free_region_ending_at(self, end: int) -> Extent | None:
+        # The free list indexes by start; derive the left neighbour from
+        # the allocated map: the gap immediately before `end` is free if
+        # tracked.  We scan the free list's start index via the gap start.
+        prev = self._gap_before(end)
+        if prev is None:
+            return None
+        region = self.free_list.region_at(prev)
+        if region is not None and region.end == end:
+            return region
+        return None
+
+    def _gap_before(self, end: int) -> int | None:
+        """Start of the maximal unallocated run ending at ``end``."""
+        if end <= self.data_start:
+            return None
+        best_end = self.allocated.last_end_leq(end)
+        if best_end is None:
+            return self.data_start
+        return best_end if best_end < end else None
+
+    # -- derived layout ----------------------------------------------------
+
+    def bands(self) -> list[BandInfo]:
+        """Dynamic bands: maximal contiguous runs of allocated space.
+
+        Only gaps of at least the guard size separate bands -- smaller
+        dead slivers inside a run (none are produced by this allocator,
+        but freed-and-reused space can abut) stay within one band.
+        """
+        bands: list[BandInfo] = []
+        current: BandInfo | None = None
+        for ext in self.allocated:
+            if current is not None and ext.start <= current.end:
+                current = BandInfo(current.start, max(current.end, ext.end),
+                                   current.num_allocations + 1)
+                bands[-1] = current
+            else:
+                current = BandInfo(ext.start, ext.end, 1)
+                bands.append(current)
+        return bands
+
+    def fragments(self, max_useful: int) -> list[Extent]:
+        """Free regions smaller than ``max_useful`` bytes (Fig. 13).
+
+        The paper counts free regions no larger than the average set
+        size as fragments, "quite difficult to be leveraged".
+        """
+        return [region for region in self.free_list.regions()
+                if region.length <= max_useful]
+
+    def occupied_bytes(self) -> int:
+        """Bytes between the data start and the banded tail."""
+        return self.tail - self.data_start
+
+    def allocated_bytes(self) -> int:
+        return self.allocated.total_bytes
+
+    def free_bytes(self) -> int:
+        return self.free_list.total_bytes
+
+    def check_invariants(self) -> None:
+        """Free and allocated space never overlap; all within bounds."""
+        self.allocated.check_invariants()
+        for region in self.free_list.regions():
+            if region.start < self.data_start or region.end > self.tail:
+                raise InvariantViolation(
+                    f"free region {region} outside banded area "
+                    f"[{self.data_start}, {self.tail})"
+                )
+            if self.allocated.covered_bytes(region.start, region.end):
+                raise InvariantViolation(
+                    f"free region {region} overlaps allocated space"
+                )
+        self.free_list.check_invariants()
+        if self.allocated.max_end() > self.tail:
+            raise InvariantViolation("allocation beyond the banded tail")

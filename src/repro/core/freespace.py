@@ -1,0 +1,195 @@
+"""The free-space list of dynamic-band management.
+
+Per Section III-B2: "The free space from faded sets is organized by a
+sorted array of double linked list, named *free space list*, and each
+array element is aligned with an SSTable size (4 MB).  Free space
+regions with similar sizes are tracked on an array element by a double
+linked list. ... SEALDB first searches in the free space list by binary
+searching the sorted array and picking the first free space in its
+linked list with the complexity of O(log n)."
+
+Here the sorted array holds the populated size classes (class ``k``
+holds regions with ``k = size // class_unit``); each class owns a
+doubly-linked list of regions in insertion order.  Allocation binary-
+searches for the first class that can possibly satisfy the request and
+walks at most a few list nodes.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, insort
+from typing import Iterator
+
+from repro.errors import InvariantViolation
+from repro.smr.extent import Extent
+
+
+class _Node:
+    """Doubly-linked list node holding one free region."""
+
+    __slots__ = ("extent", "prev", "next")
+
+    def __init__(self, extent: Extent) -> None:
+        self.extent = extent
+        self.prev: _Node | None = None
+        self.next: _Node | None = None
+
+
+class _RegionList:
+    """Intrusive doubly-linked list of free regions (one size class)."""
+
+    def __init__(self) -> None:
+        self.head: _Node | None = None
+        self.tail: _Node | None = None
+        self.count = 0
+
+    def push_back(self, node: _Node) -> None:
+        node.prev = self.tail
+        node.next = None
+        if self.tail is not None:
+            self.tail.next = node
+        else:
+            self.head = node
+        self.tail = node
+        self.count += 1
+
+    def unlink(self, node: _Node) -> None:
+        if node.prev is not None:
+            node.prev.next = node.next
+        else:
+            self.head = node.next
+        if node.next is not None:
+            node.next.prev = node.prev
+        else:
+            self.tail = node.prev
+        node.prev = node.next = None
+        self.count -= 1
+
+    def __iter__(self) -> Iterator[_Node]:
+        node = self.head
+        while node is not None:
+            nxt = node.next
+            yield node
+            node = nxt
+
+
+class FreeSpaceList:
+    """Size-class-indexed collection of free regions.
+
+    ``class_unit`` is the SSTable size of the store, per the paper.
+    Regions are also indexed by start offset so the dynamic-band manager
+    can find and remove exact regions during coalescing.
+    """
+
+    def __init__(self, class_unit: int) -> None:
+        if class_unit <= 0:
+            raise ValueError("class unit must be positive")
+        self.class_unit = class_unit
+        self._classes: dict[int, _RegionList] = {}
+        self._sorted_keys: list[int] = []
+        self._by_start: dict[int, _Node] = {}
+        self._total = 0
+
+    def __len__(self) -> int:
+        return len(self._by_start)
+
+    @property
+    def total_bytes(self) -> int:
+        return self._total
+
+    def _class_of(self, size: int) -> int:
+        return size // self.class_unit
+
+    def insert(self, extent: Extent) -> None:
+        """Add a free region."""
+        if extent.length <= 0:
+            return
+        if extent.start in self._by_start:
+            raise InvariantViolation(f"duplicate free region at {extent.start}")
+        key = self._class_of(extent.length)
+        region_list = self._classes.get(key)
+        if region_list is None:
+            region_list = _RegionList()
+            self._classes[key] = region_list
+            insort(self._sorted_keys, key)
+        node = _Node(extent)
+        region_list.push_back(node)
+        self._by_start[extent.start] = node
+        self._total += extent.length
+
+    def remove(self, extent: Extent) -> None:
+        """Remove an exact region previously inserted."""
+        node = self._by_start.get(extent.start)
+        if node is None or node.extent != extent:
+            raise InvariantViolation(f"free region {extent} not tracked")
+        self._unlink(node)
+
+    def _unlink(self, node: _Node) -> None:
+        key = self._class_of(node.extent.length)
+        region_list = self._classes[key]
+        region_list.unlink(node)
+        if region_list.count == 0:
+            del self._classes[key]
+            self._sorted_keys.pop(bisect_left(self._sorted_keys, key))
+        del self._by_start[node.extent.start]
+        self._total -= node.extent.length
+
+    def region_at(self, start: int) -> Extent | None:
+        """The free region starting exactly at ``start``, if tracked."""
+        node = self._by_start.get(start)
+        return node.extent if node is not None else None
+
+    def allocate(self, min_size: int) -> Extent | None:
+        """Pop the first region of at least ``min_size`` bytes.
+
+        Binary search locates the lowest size class that may contain a
+        fit; within a class the insertion-order list is scanned (a class
+        spans one ``class_unit``, so at most the head few nodes can be
+        too small).
+        """
+        if min_size <= 0:
+            raise ValueError("allocation size must be positive")
+        start_key = self._class_of(min_size)
+        index = bisect_left(self._sorted_keys, start_key)
+        while index < len(self._sorted_keys):
+            key = self._sorted_keys[index]
+            for node in self._classes[key]:
+                if node.extent.length >= min_size:
+                    extent = node.extent
+                    self._unlink(node)
+                    return extent
+            index += 1
+        return None
+
+    def regions(self) -> list[Extent]:
+        """All free regions, sorted by start offset."""
+        return sorted((node.extent for node in self._by_start.values()),
+                      key=lambda e: e.start)
+
+    def check_invariants(self) -> None:
+        """Classes consistent, no overlaps, totals add up (test hook)."""
+        total = 0
+        seen: list[Extent] = []
+        for key, region_list in self._classes.items():
+            count = 0
+            for node in region_list:
+                count += 1
+                ext = node.extent
+                if self._class_of(ext.length) != key:
+                    raise InvariantViolation(f"{ext} filed under class {key}")
+                if self._by_start.get(ext.start) is not node:
+                    raise InvariantViolation(f"{ext} missing from start index")
+                total += ext.length
+                seen.append(ext)
+            if count != region_list.count:
+                raise InvariantViolation("list count drifted")
+        if total != self._total:
+            raise InvariantViolation("total bytes drifted")
+        if sorted(self._sorted_keys) != self._sorted_keys:
+            raise InvariantViolation("class keys unsorted")
+        if set(self._sorted_keys) != set(self._classes):
+            raise InvariantViolation("class keys out of sync")
+        seen.sort(key=lambda e: e.start)
+        for a, b in zip(seen, seen[1:]):
+            if a.end > b.start:
+                raise InvariantViolation(f"free regions {a} and {b} overlap")

@@ -1,0 +1,157 @@
+"""Set bookkeeping (Section III-A/C of the paper).
+
+A *set* here is the physical unit the paper's delete semantics operate
+on: the group of SSTables one compaction wrote contiguously.  Members
+become invalid one at a time -- an overlapped SSTable fades when a
+compaction consumes it; a victim SSTable is "only marked as invalid and
+... recycled until the set it belongs to becomes invalid".  When the
+last member fades the whole extent is reclaimed at once.
+
+The registry also answers the ``invalid-set-first`` victim-policy query
+("SEALDB gives priority to compact the set with more invalid SSTables,
+hence fragments can be recycled implicitly with no overhead") and feeds
+the set-size statistics of Fig. 10(b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import InvariantViolation
+from repro.smr.extent import Extent
+
+
+@dataclass
+class SetInfo:
+    """One on-disk set: a contiguously placed group of tables."""
+
+    set_id: int
+    extent: Extent
+    members: dict[str, Extent]
+    invalid: set[str] = field(default_factory=set)
+    created_at: float = 0.0
+
+    @property
+    def size(self) -> int:
+        return self.extent.length
+
+    @property
+    def num_members(self) -> int:
+        return len(self.members)
+
+    @property
+    def num_invalid(self) -> int:
+        return len(self.invalid)
+
+    @property
+    def faded(self) -> bool:
+        return len(self.invalid) == len(self.members)
+
+    def member_extent(self, name: str) -> Extent:
+        try:
+            return self.members[name]
+        except KeyError:
+            raise InvariantViolation(f"{name!r} is not a member of set {self.set_id}") from None
+
+
+class SetRegistry:
+    """Tracks every live set and its members."""
+
+    def __init__(self) -> None:
+        self._sets: dict[int, SetInfo] = {}
+        self._member_to_set: dict[str, int] = {}
+        self._by_start: dict[int, int] = {}
+        self._next_id = 1
+        #: sizes of all sets ever created (for the Fig. 10(b) statistic)
+        self.set_size_history: list[int] = []
+        self.set_member_history: list[int] = []
+
+    def __len__(self) -> int:
+        return len(self._sets)
+
+    def register(self, members: list[tuple[str, Extent]],
+                 created_at: float = 0.0) -> SetInfo:
+        """Record a newly written group of tables as one set."""
+        if not members:
+            raise InvariantViolation("a set needs at least one member")
+        start = min(ext.start for _n, ext in members)
+        end = max(ext.end for _n, ext in members)
+        info = SetInfo(self._next_id, Extent(start, end),
+                       {name: ext for name, ext in members},
+                       created_at=created_at)
+        if len(info.members) != len(members):
+            raise InvariantViolation("duplicate member names in a set")
+        for name, _ext in members:
+            if name in self._member_to_set:
+                raise InvariantViolation(f"{name!r} already belongs to a set")
+            self._member_to_set[name] = info.set_id
+        self._sets[info.set_id] = info
+        self._by_start[info.extent.start] = info.set_id
+        self._next_id += 1
+        self.set_size_history.append(info.size)
+        self.set_member_history.append(info.num_members)
+        return info
+
+    def set_of(self, name: str) -> SetInfo | None:
+        set_id = self._member_to_set.get(name)
+        return self._sets.get(set_id) if set_id is not None else None
+
+    def invalid_count(self, name: str) -> int:
+        """Invalid members in the set containing ``name`` (0 if none)."""
+        info = self.set_of(name)
+        return info.num_invalid if info is not None else 0
+
+    def mark_invalid(self, name: str) -> SetInfo | None:
+        """Invalidate one member; returns the set iff it fully faded.
+
+        A faded set is removed from the registry; its extent is the
+        caller's to reclaim.
+        """
+        set_id = self._member_to_set.get(name)
+        if set_id is None:
+            raise InvariantViolation(f"{name!r} belongs to no set")
+        info = self._sets[set_id]
+        if name in info.invalid:
+            raise InvariantViolation(f"{name!r} already invalid")
+        info.invalid.add(name)
+        if info.faded:
+            self._drop(info)
+            return info
+        return None
+
+    def _drop(self, info: SetInfo) -> None:
+        for member in info.members:
+            self._member_to_set.pop(member, None)
+        del self._sets[info.set_id]
+        del self._by_start[info.extent.start]
+
+    def set_starting_at(self, start: int) -> SetInfo | None:
+        """The live set whose extent begins exactly at ``start``."""
+        set_id = self._by_start.get(start)
+        return self._sets.get(set_id) if set_id is not None else None
+
+    def evict(self, info: SetInfo) -> list[str]:
+        """Remove a live set (relocation); returns its live member names."""
+        live = [name for name in info.members if name not in info.invalid]
+        self._drop(info)
+        return live
+
+    def live_sets(self) -> list[SetInfo]:
+        return list(self._sets.values())
+
+    def average_set_size(self) -> float:
+        """Mean size of every set ever created, the paper's 27.48 MB stat."""
+        if not self.set_size_history:
+            return 0.0
+        return sum(self.set_size_history) / len(self.set_size_history)
+
+    def average_set_members(self) -> float:
+        if not self.set_member_history:
+            return 0.0
+        return sum(self.set_member_history) / len(self.set_member_history)
+
+    def dead_bytes(self) -> int:
+        """Bytes held by invalid members of still-live sets (cost analysis)."""
+        return sum(info.member_extent(name).length
+                   for info in self._sets.values()
+                   for name in info.invalid)

@@ -1,0 +1,76 @@
+"""Exception hierarchy shared across the SEALDB reproduction.
+
+Every layer raises a subclass of :class:`ReproError` so callers can
+distinguish simulation-model violations (bugs in a storage policy) from
+ordinary KV-store conditions such as a missing key.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class DriveError(ReproError):
+    """Base class for simulated-drive errors."""
+
+
+class OutOfRangeError(DriveError):
+    """An I/O request fell outside the drive's capacity."""
+
+    def __init__(self, offset: int, length: int, capacity: int) -> None:
+        super().__init__(
+            f"request [{offset}, {offset + length}) exceeds capacity {capacity}"
+        )
+        self.offset = offset
+        self.length = length
+        self.capacity = capacity
+
+
+class ShingleOverwriteError(DriveError):
+    """A write to a raw HM-SMR drive would damage valid data.
+
+    Writing tracks on an SMR drive destroys data on the subsequently
+    shingled tracks.  The raw HM-SMR model raises this error whenever the
+    damage zone of a write intersects an extent that still holds valid
+    data -- i.e. the host violated the Caveat-Scriptor safety rule the
+    dynamic-band manager is supposed to uphold (Eq. 1 in the paper).
+    """
+
+    def __init__(self, offset: int, length: int, damaged: tuple[int, int]) -> None:
+        super().__init__(
+            f"write [{offset}, {offset + length}) would damage valid data "
+            f"extent [{damaged[0]}, {damaged[1]})"
+        )
+        self.offset = offset
+        self.length = length
+        self.damaged = damaged
+
+
+class BandAlignmentError(DriveError):
+    """An operation on a fixed-band SMR drive crossed a band boundary."""
+
+
+class AllocationError(ReproError):
+    """A storage policy could not allocate space for a request."""
+
+
+class StorageError(ReproError):
+    """Base class for storage-layer (file abstraction) errors."""
+
+
+class FileNotFoundStorageError(StorageError):
+    """A named object does not exist in the storage layer."""
+
+
+class CorruptionError(ReproError):
+    """Persistent data failed a checksum or structural validation."""
+
+
+class NotFoundError(ReproError):
+    """A key does not exist in the key-value store (or was deleted)."""
+
+
+class InvariantViolation(ReproError):
+    """An internal data-structure invariant was broken (indicates a bug)."""

@@ -1,0 +1,50 @@
+"""One module per table/figure of the paper's evaluation.
+
+Every module exposes ``run(...) -> <Result dataclass>`` and
+``render(result) -> str`` (a paper-style text table), plus a ``main()``
+so it can be executed directly::
+
+    python -m repro.experiments.fig08_microbench
+
+Database sizes default to the scaled equivalents used by the benchmark
+suite; pass larger ``db_bytes`` for closer-to-paper runs.  See
+EXPERIMENTS.md for the paper-vs-measured record.
+"""
+
+from repro.experiments import (  # noqa: F401
+    ext_aging,
+    ext_level_count,
+    ext_multitenant,
+    ext_tail_latency,
+    ext_timeline,
+    ext_value_size,
+    fig02_sstable_scatter,
+    fig03_band_amplification,
+    table02_drive_params,
+    fig08_microbench,
+    fig09_ycsb,
+    fig10_compaction_detail,
+    fig11_set_layout,
+    fig12_write_amplification,
+    fig13_fragments,
+    fig14_ablation,
+)
+
+__all__ = [
+    "ext_aging",
+    "ext_level_count",
+    "ext_multitenant",
+    "ext_tail_latency",
+    "ext_timeline",
+    "ext_value_size",
+    "fig02_sstable_scatter",
+    "fig03_band_amplification",
+    "table02_drive_params",
+    "fig08_microbench",
+    "fig09_ycsb",
+    "fig10_compaction_detail",
+    "fig11_set_layout",
+    "fig12_write_amplification",
+    "fig13_fragments",
+    "fig14_ablation",
+]

@@ -1,0 +1,112 @@
+"""Extension: consolidation — several stores sharing one drive.
+
+The paper's motivation: consolidation packs many KV stores onto one
+dense SMR drive.  This experiment partitions a single raw HM-SMR drive
+among N SEALDB tenants and interleaves their random loads, measuring
+the per-tenant throughput against the same tenant running alone — the
+*consolidation tax*, which on a disk is mostly head contention (every
+tenant's compaction drags the arm away from the others' layouts).
+
+AWA stays at 1.0 for every tenant: dynamic-band safety is enforced
+globally on the shared shingled surface, guard gaps separating the
+partitions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.storage import DynamicBandStorage
+from repro.experiments.common import MiB, kv_for, scaled_bytes
+from repro.harness.profiles import DEFAULT_PROFILE, ScaleProfile
+from repro.harness.report import render_table
+from repro.kvstore import KVStoreBase
+from repro.smr.partition import partition_drive
+from repro.smr.raw_hmsmr import RawHMSMRDrive
+from repro.smr.timing import SMR_PROFILE
+from repro.util.rng import make_rng
+
+DEFAULT_DB_BYTES = 3 * MiB        # per tenant
+DEFAULT_TENANTS = (1, 2, 4)
+
+
+@dataclass
+class TenantPoint:
+    tenants: int
+    per_tenant_ops: float          # aggregate wall view: ops/s per tenant
+    aggregate_ops: float
+    awa: float
+    consolidation_tax: float       # 1 - per_tenant/solo
+
+
+@dataclass
+class MultiTenantResult:
+    db_bytes_per_tenant: int
+    points: list[TenantPoint]
+
+
+def _tenant_store(partition, profile: ScaleProfile) -> KVStoreBase:
+    storage = DynamicBandStorage(partition, wal_size=profile.wal_region,
+                                 meta_size=profile.meta_region,
+                                 class_unit=profile.sstable_size)
+    options = profile.options(use_sets=True)
+    return KVStoreBase(partition, storage, options)
+
+
+def run(db_bytes: int | None = None,
+        tenant_counts: tuple[int, ...] = DEFAULT_TENANTS,
+        profile: ScaleProfile = DEFAULT_PROFILE, seed: int = 0
+        ) -> MultiTenantResult:
+    if db_bytes is None:
+        db_bytes = scaled_bytes(DEFAULT_DB_BYTES)
+    kv = kv_for(profile)
+    entries = profile.entries_for_bytes(db_bytes)
+
+    points: list[TenantPoint] = []
+    solo_rate: float | None = None
+    for tenants in tenant_counts:
+        drive = RawHMSMRDrive(profile.capacity, guard_size=profile.guard_size,
+                              profile=SMR_PROFILE.scaled(profile.io_scale))
+        stores = [_tenant_store(p, profile)
+                  for p in partition_drive(drive, tenants)]
+        rng = make_rng(seed)
+        streams = [rng.integers(0, entries, size=entries) for _ in stores]
+        start = drive.now
+        # interleave the tenants' loads put by put (round robin), the
+        # way concurrent workloads multiplex onto one arm
+        for position in range(entries):
+            for store, stream in zip(stores, streams):
+                index = int(stream[position])
+                store.put(kv.scrambled_key(index), kv.value(index))
+        for store in stores:
+            store.flush()
+        elapsed = drive.now - start
+        per_tenant = entries / elapsed if elapsed else 0.0
+        if solo_rate is None:
+            solo_rate = per_tenant
+        points.append(TenantPoint(
+            tenants=tenants,
+            per_tenant_ops=per_tenant,
+            aggregate_ops=per_tenant * tenants,
+            awa=max(store.awa() for store in stores),
+            consolidation_tax=1.0 - per_tenant / solo_rate,
+        ))
+    return MultiTenantResult(db_bytes, points)
+
+
+def render(result: MultiTenantResult) -> str:
+    rows = [[p.tenants, p.per_tenant_ops, p.aggregate_ops, p.awa,
+             f"{p.consolidation_tax:.0%}"] for p in result.points]
+    return render_table(
+        "Extension: SEALDB tenants consolidated on one HM-SMR drive",
+        ["tenants", "per-tenant ops/s", "aggregate ops/s", "AWA", "tax"],
+        rows,
+    )
+
+
+def main() -> None:  # pragma: no cover
+    print(render(run()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,102 @@
+"""Extension: throughput over time during a random load.
+
+Averages hide the rhythm of an LSM store: bursts of fast puts punctuated
+by compaction stalls -- the classic sawtooth.  This experiment samples
+instantaneous throughput in fixed windows of operations during a random
+load and renders the timelines, making visible *why* SEALDB's average is
+higher (same number of dips as LevelDB, but each dip is far shorter)
+and what SMRDB's rare giant merges look like (cliffs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import MiB, kv_for, scaled_bytes
+from repro.harness.profiles import DEFAULT_PROFILE, ScaleProfile
+from repro.harness.report import render_table
+from repro.harness.runner import make_store
+from repro.util.rng import make_rng
+
+DEFAULT_DB_BYTES = 8 * MiB
+DEFAULT_WINDOWS = 60
+
+
+@dataclass
+class Timeline:
+    store: str
+    window_ops: int
+    #: ops/simulated-second per window
+    series: list[float]
+
+    @property
+    def mean(self) -> float:
+        return sum(self.series) / len(self.series) if self.series else 0.0
+
+    @property
+    def worst_window(self) -> float:
+        return min(self.series) if self.series else 0.0
+
+    @property
+    def best_window(self) -> float:
+        return max(self.series) if self.series else 0.0
+
+
+@dataclass
+class TimelineResult:
+    db_bytes: int
+    timelines: dict[str, Timeline]
+
+
+def run(db_bytes: int | None = None, windows: int = DEFAULT_WINDOWS,
+        profile: ScaleProfile = DEFAULT_PROFILE, seed: int = 0,
+        store_kinds: tuple[str, ...] = ("leveldb", "smrdb", "sealdb"),
+        ) -> TimelineResult:
+    if db_bytes is None:
+        db_bytes = scaled_bytes(DEFAULT_DB_BYTES)
+    kv = kv_for(profile)
+    entries = profile.entries_for_bytes(db_bytes)
+    window_ops = max(1, entries // windows)
+    timelines: dict[str, Timeline] = {}
+    for kind in store_kinds:
+        store = make_store(kind, profile)
+        rng = make_rng(seed)
+        indices = rng.integers(0, entries, size=entries)
+        series: list[float] = []
+        window_start_time = store.now
+        for position, index in enumerate(indices):
+            index = int(index)
+            store.put(kv.scrambled_key(index), kv.value(index))
+            if (position + 1) % window_ops == 0:
+                elapsed = store.now - window_start_time
+                series.append(window_ops / elapsed if elapsed > 0 else 0.0)
+                window_start_time = store.now
+        timelines[store.name] = Timeline(store.name, window_ops, series)
+    return TimelineResult(db_bytes, timelines)
+
+
+def render(result: TimelineResult) -> str:
+    from repro.harness.plotting import ascii_series
+
+    rows = [[t.store, t.mean, t.worst_window, t.best_window,
+             t.best_window / t.worst_window if t.worst_window else 0.0]
+            for t in result.timelines.values()]
+    table = render_table(
+        "Extension: load throughput over time (ops/s per window)",
+        ["store", "mean", "worst window", "best window", "spread"],
+        rows,
+    )
+    plot = ascii_series(
+        {name: t.series for name, t in result.timelines.items()},
+        title="throughput timeline (windows of equal op counts)",
+        height=14,
+    )
+    return table + "\n\n" + plot
+
+
+def main() -> None:  # pragma: no cover
+    print(render(run()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,90 @@
+"""Fig. 8 -- basic performance on the micro-benchmarks.
+
+The paper loads 25 M records (100 GB) sequentially and randomly, then
+reads 100 K records sequentially and randomly from the random-loaded
+database, for LevelDB, SMRDB, and SEALDB, reporting throughput
+normalized to LevelDB.  Headline numbers:
+
+* random write: SEALDB 3.42x LevelDB, 1.67x SMRDB;
+* sequential write: SEALDB ~ SMRDB, both above LevelDB;
+* sequential read: SEALDB 3.96x LevelDB, SMRDB slightly lower;
+* random read: SEALDB ~1.8x, SMRDB ~ LevelDB.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.common import MiB, scaled_bytes
+from repro.harness.metrics import WorkloadResult
+from repro.harness.profiles import DEFAULT_PROFILE, ScaleProfile
+from repro.harness.report import normalize, render_table
+from repro.harness.runner import ExperimentRunner
+
+DEFAULT_DB_BYTES = 12 * MiB
+DEFAULT_READ_OPS = 3000
+
+PAPER_NORMALIZED = {
+    "fillseq": {"LevelDB": 1.0, "SMRDB": 1.4, "SEALDB": 1.4},
+    "fillrandom": {"LevelDB": 1.0, "SMRDB": 2.05, "SEALDB": 3.42},
+    "readseq": {"LevelDB": 1.0, "SMRDB": 3.5, "SEALDB": 3.96},
+    "readrandom": {"LevelDB": 1.0, "SMRDB": 1.0, "SEALDB": 1.8},
+}
+
+
+@dataclass
+class MicroSuiteResult:
+    db_bytes: int
+    read_ops: int
+    results: dict[str, dict[str, WorkloadResult]]
+    normalized: dict[str, dict[str, float]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.normalized:
+            self.normalized = {
+                workload: normalize(
+                    {name: r.ops_per_sec for name, r in by_store.items()},
+                    "LevelDB",
+                )
+                for workload, by_store in self.results.items()
+            }
+
+
+def run(db_bytes: int | None = None, read_ops: int = DEFAULT_READ_OPS,
+        profile: ScaleProfile = DEFAULT_PROFILE, seed: int = 0,
+        store_kinds: tuple[str, ...] = ("leveldb", "smrdb", "sealdb"),
+        ) -> MicroSuiteResult:
+    if db_bytes is None:
+        db_bytes = scaled_bytes(DEFAULT_DB_BYTES)
+    runner = ExperimentRunner(profile, store_kinds, seed=seed)
+    results = runner.run_micro_suite(db_bytes, read_ops)
+    return MicroSuiteResult(db_bytes, read_ops, results)
+
+
+def render(result: MicroSuiteResult) -> str:
+    stores = list(next(iter(result.results.values())).keys())
+    rows = []
+    for workload, by_store in result.results.items():
+        row = [workload]
+        for store in stores:
+            r = by_store[store]
+            norm = result.normalized[workload][store]
+            row.append(f"{r.ops_per_sec:,.0f} ({norm:.2f}x)")
+        paper = PAPER_NORMALIZED.get(workload, {})
+        row.append(" / ".join(f"{paper.get(s, float('nan')):.2f}x"
+                              for s in stores))
+        rows.append(row)
+    return render_table(
+        "Fig. 8: micro-benchmark ops/s, normalized to LevelDB "
+        "(paper normalization right column)",
+        ["workload", *stores, "paper"],
+        rows,
+    )
+
+
+def main() -> None:  # pragma: no cover
+    print(render(run()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

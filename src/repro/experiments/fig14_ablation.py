@@ -1,0 +1,87 @@
+"""Fig. 14 -- contribution analysis of set and dynamic band.
+
+The paper runs the four micro workloads on LevelDB, LevelDB + sets, and
+SEALDB (sets + dynamic bands).  Findings:
+
+* sets alone contribute ~41 % of the random-write gain and ~50 % of the
+  read gains;
+* sequential-write improvement comes only from dynamic bands (no
+  compactions happen, so sets cannot help);
+* dynamic band helps every workload via the sequential-dominant layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.common import MiB, scaled_bytes
+from repro.experiments.fig08_microbench import MicroSuiteResult
+from repro.harness.metrics import WorkloadResult
+from repro.harness.profiles import DEFAULT_PROFILE, ScaleProfile
+from repro.harness.report import normalize, render_table
+from repro.harness.runner import ExperimentRunner
+
+DEFAULT_DB_BYTES = 12 * MiB
+DEFAULT_READ_OPS = 3000
+
+
+@dataclass
+class AblationResult:
+    db_bytes: int
+    results: dict[str, dict[str, WorkloadResult]]
+    normalized: dict[str, dict[str, float]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.normalized:
+            self.normalized = {
+                workload: normalize(
+                    {s: r.ops_per_sec for s, r in by_store.items()}, "LevelDB")
+                for workload, by_store in self.results.items()
+            }
+
+    def sets_contribution(self, workload: str) -> float:
+        """Share of SEALDB's gain over LevelDB attributable to sets."""
+        base = self.normalized[workload]["LevelDB"]
+        with_sets = self.normalized[workload]["LevelDB+sets"]
+        full = self.normalized[workload]["SEALDB"]
+        if full <= base:
+            return 0.0
+        return max(0.0, (with_sets - base) / (full - base))
+
+
+def run(db_bytes: int | None = None, read_ops: int = DEFAULT_READ_OPS,
+        profile: ScaleProfile = DEFAULT_PROFILE, seed: int = 0
+        ) -> AblationResult:
+    if db_bytes is None:
+        db_bytes = scaled_bytes(DEFAULT_DB_BYTES)
+    runner = ExperimentRunner(profile,
+                              ("leveldb", "leveldb+sets", "sealdb"),
+                              seed=seed)
+    results = runner.run_micro_suite(db_bytes, read_ops)
+    return AblationResult(db_bytes, results)
+
+
+def render(result: AblationResult) -> str:
+    stores = ["LevelDB", "LevelDB+sets", "SEALDB"]
+    rows = []
+    for workload, by_store in result.results.items():
+        row = [workload]
+        for store in stores:
+            row.append(f"{by_store[store].ops_per_sec:,.0f} "
+                       f"({result.normalized[workload][store]:.2f}x)")
+        row.append(f"{result.sets_contribution(workload):.0%}")
+        rows.append(row)
+    return render_table(
+        "Fig. 14: set vs dynamic-band contribution "
+        "(sets' share of the SEALDB gain in the last column)",
+        ["workload", *stores, "sets share"],
+        rows,
+    )
+
+
+def main() -> None:  # pragma: no cover
+    print(render(run()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,26 @@
+"""File-placement substrate.
+
+KV engines address "files" by name; a :class:`~repro.fs.storage.Storage`
+policy decides where those bytes land on the simulated drive.  The
+policies mirror the paper's configurations:
+
+* :class:`~repro.fs.ext4sim.Ext4Storage` -- an ext4-like block-group
+  allocator.  Freed holes are reused first-fit, so the SSTables of one
+  compaction scatter across the used region exactly as the paper's
+  Fig. 2 shows.
+* :class:`~repro.fs.storage.BandAlignedStorage` -- SMRDB's policy: each
+  file occupies its own dedicated fixed-size band.
+* :class:`~repro.core.storage.DynamicBandStorage` (in ``repro.core``) --
+  SEALDB's direct-on-disk policy with dynamic bands.
+"""
+
+from repro.fs.storage import BandAlignedStorage, LogRegion, Storage
+from repro.fs.ext4sim import Ext4Allocator, Ext4Storage
+
+__all__ = [
+    "BandAlignedStorage",
+    "Ext4Allocator",
+    "Ext4Storage",
+    "LogRegion",
+    "Storage",
+]

@@ -1,0 +1,344 @@
+"""Storage abstraction: named byte objects placed on a simulated drive.
+
+The LSM engine above is placement-agnostic; it writes whole SSTables,
+reads ranges, appends to a write-ahead log, and checkpoints small
+metadata blobs.  Every placement policy implements this interface.
+
+Two fixed *regions* at the front of the drive serve the log and the
+metadata checkpoints for **all** policies, so WAL/manifest traffic is
+identical across stores and never pollutes the table-data accounting
+(their drive categories are ``wal`` and ``meta``, see
+:mod:`repro.smr.stats`).
+"""
+
+from __future__ import annotations
+
+import zlib
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+from repro.errors import (
+    AllocationError,
+    FileNotFoundStorageError,
+    StorageError,
+)
+from repro.smr.drive import Drive
+from repro.smr.extent import Extent
+from repro.smr.stats import CATEGORY_META, CATEGORY_TABLE, CATEGORY_WAL
+
+
+class LogRegion:
+    """An append-only region with whole-region reset.
+
+    Appends advance a tail pointer; ``reset`` trims the region and
+    rewinds.  Both patterns are sequential, hence legal on every drive
+    model including raw HM-SMR (the caller leaves a guard gap after the
+    region).
+    """
+
+    def __init__(self, drive: Drive, start: int, size: int, category: str) -> None:
+        if start < 0 or size <= 0 or start + size > drive.capacity:
+            raise StorageError(f"log region [{start}, {start + size}) does not fit drive")
+        self.drive = drive
+        self.start = start
+        self.size = size
+        self.category = category
+        self.tail = start
+
+    @property
+    def used(self) -> int:
+        return self.tail - self.start
+
+    def append(self, data: bytes) -> None:
+        if self.tail + len(data) > self.start + self.size:
+            raise AllocationError(
+                f"log region overflow: {len(data)} bytes at tail {self.tail}, "
+                f"region ends at {self.start + self.size}"
+            )
+        self.drive.write_buffered(self.tail, data, category=self.category)
+        self.tail += len(data)
+
+    def read_all(self) -> bytes:
+        """Return everything appended since the last reset."""
+        if self.tail == self.start:
+            return b""
+        return self.drive.read(self.start, self.tail - self.start, category=self.category)
+
+    def reset(self) -> None:
+        self.drive.trim(self.start, self.size)
+        self.tail = self.start
+
+
+class Storage(ABC):
+    """Named-object placement policy over a simulated drive.
+
+    Concrete subclasses implement table-file placement; the WAL and the
+    metadata checkpoint area are provided here.
+    """
+
+    def __init__(self, drive: Drive, *, wal_size: int, meta_size: int,
+                 region_gap: int = 0) -> None:
+        self.drive = drive
+        self.region_gap = region_gap
+        self.wal = LogRegion(drive, 0, wal_size, CATEGORY_WAL)
+        meta_start = wal_size + region_gap
+        self.meta_region = LogRegion(drive, meta_start, meta_size, CATEGORY_META)
+        #: first byte available for table data
+        self.data_start = meta_start + meta_size + region_gap
+
+    # -- write-ahead log -------------------------------------------------
+
+    def append_log(self, data: bytes) -> None:
+        """Append a record blob to the write-ahead log."""
+        self.wal.append(data)
+
+    def read_log_bytes(self) -> bytes:
+        """All WAL bytes since the last reset (for recovery replay)."""
+        return self.wal.read_all()
+
+    def reset_log(self) -> None:
+        """Discard the WAL (after a successful memtable flush)."""
+        self.wal.reset()
+
+    # -- metadata log (manifest) -------------------------------------------
+
+    #: meta record kinds
+    META_SNAPSHOT = 1
+    META_EDIT = 2
+
+    def append_meta_record(self, kind: int, payload: bytes) -> None:
+        """Append one framed record to the metadata log.
+
+        Raises :class:`AllocationError` when the region is full; the
+        caller then writes a fresh snapshot via :meth:`reset_meta`.
+        """
+        frame = bytearray([kind])
+        frame += len(payload).to_bytes(4, "little")
+        frame += zlib.crc32(payload).to_bytes(4, "little")
+        frame += payload
+        self.meta_region.append(bytes(frame))
+
+    def read_meta_records(self) -> list[tuple[int, bytes]]:
+        """All records appended since the last reset, in order."""
+        data = self.meta_region.read_all()
+        records: list[tuple[int, bytes]] = []
+        pos = 0
+        while pos + 9 <= len(data):
+            kind = data[pos]
+            length = int.from_bytes(data[pos + 1 : pos + 5], "little")
+            crc = int.from_bytes(data[pos + 5 : pos + 9], "little")
+            payload = data[pos + 9 : pos + 9 + length]
+            if len(payload) < length:
+                break  # truncated tail
+            if zlib.crc32(payload) != crc:
+                raise StorageError(f"meta record crc mismatch at {pos}")
+            records.append((kind, bytes(payload)))
+            pos += 9 + length
+        return records
+
+    def reset_meta(self) -> None:
+        """Discard the metadata log (before writing a fresh snapshot)."""
+        self.meta_region.reset()
+
+    # -- table files -------------------------------------------------------
+
+    def create_stream(self, name: str, chunk_size: int,
+                      category: str = CATEGORY_TABLE) -> "FileStream":
+        """Open a named object for incremental writing.
+
+        Streaming matters for timing fidelity: a compaction that drains
+        its output as the merge proceeds makes the disk head ping-pong
+        between input reads and output writes.  The base implementation
+        falls back to buffering (one ``write_file`` at close); policies
+        with real incremental placement override it.
+        """
+        return BufferedStream(self, name, category)
+
+    @abstractmethod
+    def write_file(self, name: str, data: bytes,
+                   category: str = CATEGORY_TABLE) -> None:
+        """Write a complete named object."""
+
+    def write_files(self, files: Sequence[tuple[str, bytes]],
+                    category: str = CATEGORY_TABLE) -> None:
+        """Write a group of objects produced together (one compaction).
+
+        The base implementation writes them one by one; set-aware
+        policies override this to place the whole group contiguously.
+        """
+        for name, data in files:
+            self.write_file(name, data, category)
+
+    @abstractmethod
+    def read_file(self, name: str, offset: int, length: int,
+                  category: str = CATEGORY_TABLE) -> bytes:
+        """Read ``length`` bytes of object ``name`` starting at ``offset``."""
+
+    @abstractmethod
+    def file_size(self, name: str) -> int:
+        """Size in bytes of object ``name``."""
+
+    @abstractmethod
+    def delete_file(self, name: str) -> None:
+        """Delete object ``name`` and release its space."""
+
+    def delete_files(self, names: Sequence[str]) -> None:
+        """Delete a group of objects invalidated together."""
+        for name in names:
+            self.delete_file(name)
+
+    @abstractmethod
+    def file_extents(self, name: str) -> list[Extent]:
+        """Physical extents of object ``name`` (for layout tracing)."""
+
+    @abstractmethod
+    def exists(self, name: str) -> bool:
+        """Whether object ``name`` exists."""
+
+    @abstractmethod
+    def list_files(self) -> list[str]:
+        """All object names, unordered."""
+
+
+class FileStream(ABC):
+    """Incremental writer for one named object."""
+
+    @abstractmethod
+    def append(self, data: bytes) -> None:
+        """Add bytes to the object."""
+
+    @abstractmethod
+    def close(self) -> int:
+        """Finish the object; returns its total size."""
+
+
+class BufferedStream(FileStream):
+    """Fallback stream: buffers everything, one placement at close."""
+
+    def __init__(self, storage: Storage, name: str, category: str) -> None:
+        self._storage = storage
+        self._name = name
+        self._category = category
+        self._buf = bytearray()
+
+    def append(self, data: bytes) -> None:
+        self._buf += data
+
+    def close(self) -> int:
+        self._storage.write_file(self._name, bytes(self._buf), self._category)
+        return len(self._buf)
+
+
+class BandAlignedStorage(Storage):
+    """SMRDB's placement: every file lives in its own dedicated band.
+
+    Files must not exceed the band size (SMRDB sizes its SSTables to
+    match the band).  Deleting a file trims its band, resetting the
+    band's write frontier so the band can be sequentially reused --
+    which is precisely how SMRDB avoids auxiliary write amplification.
+    """
+
+    def __init__(self, drive: Drive, band_size: int, *, wal_size: int,
+                 meta_size: int, region_gap: int = 0) -> None:
+        super().__init__(drive, wal_size=wal_size, meta_size=meta_size,
+                         region_gap=region_gap)
+        self.band_size = band_size
+        first_band = (self.data_start + band_size - 1) // band_size
+        last_band = drive.capacity // band_size
+        self._free_bands: list[int] = list(range(first_band, last_band))
+        self._files: dict[str, tuple[int, int]] = {}  # name -> (band, size)
+
+    def write_file(self, name: str, data: bytes,
+                   category: str = CATEGORY_TABLE) -> None:
+        if name in self._files:
+            raise StorageError(f"object {name!r} already exists")
+        if len(data) > self.band_size:
+            raise AllocationError(
+                f"object {name!r} ({len(data)} B) exceeds band size {self.band_size}"
+            )
+        band = self._take_band()
+        self.drive.write(band * self.band_size, data, category=category)
+        self._files[name] = (band, len(data))
+
+    def _take_band(self) -> int:
+        if not self._free_bands:
+            raise AllocationError("no free bands left")
+        return self._free_bands.pop(0)
+
+    def create_stream(self, name: str, chunk_size: int,
+                      category: str = CATEGORY_TABLE) -> FileStream:
+        if name in self._files:
+            raise StorageError(f"object {name!r} already exists")
+        return _BandStream(self, name, chunk_size, category)
+
+    def read_file(self, name: str, offset: int, length: int,
+                  category: str = CATEGORY_TABLE) -> bytes:
+        band, size = self._entry(name)
+        if offset + length > size:
+            raise StorageError(
+                f"read past end of {name!r}: [{offset}, {offset + length}) size {size}"
+            )
+        return self.drive.read(band * self.band_size + offset, length,
+                               category=category)
+
+    def file_size(self, name: str) -> int:
+        return self._entry(name)[1]
+
+    def delete_file(self, name: str) -> None:
+        band, _size = self._entry(name)
+        del self._files[name]
+        self.drive.trim(band * self.band_size, self.band_size)
+        self._free_bands.append(band)
+
+    def file_extents(self, name: str) -> list[Extent]:
+        band, size = self._entry(name)
+        start = band * self.band_size
+        return [Extent(start, start + size)]
+
+    def exists(self, name: str) -> bool:
+        return name in self._files
+
+    def list_files(self) -> list[str]:
+        return list(self._files)
+
+    def _entry(self, name: str) -> tuple[int, int]:
+        try:
+            return self._files[name]
+        except KeyError:
+            raise FileNotFoundStorageError(name) from None
+
+
+class _BandStream(FileStream):
+    """Streams a file into its dedicated band, chunk by chunk."""
+
+    def __init__(self, storage: BandAlignedStorage, name: str,
+                 chunk_size: int, category: str) -> None:
+        self._storage = storage
+        self._name = name
+        self._chunk = max(1, chunk_size)
+        self._category = category
+        self._band = storage._take_band()
+        self._written = 0
+        self._pending = bytearray()
+
+    def append(self, data: bytes) -> None:
+        self._pending += data
+        while len(self._pending) >= self._chunk:
+            self._flush(self._chunk)
+
+    def _flush(self, nbytes: int) -> None:
+        chunk = bytes(self._pending[:nbytes])
+        del self._pending[:nbytes]
+        offset = self._band * self._storage.band_size + self._written
+        if self._written + len(chunk) > self._storage.band_size:
+            raise AllocationError(
+                f"stream {self._name!r} exceeds band size {self._storage.band_size}"
+            )
+        self._storage.drive.write(offset, chunk, category=self._category)
+        self._written += len(chunk)
+
+    def close(self) -> int:
+        if self._pending:
+            self._flush(len(self._pending))
+        self._storage._files[self._name] = (self._band, self._written)
+        return self._written

@@ -1,0 +1,268 @@
+"""ZenFS-style placement on a zoned device.
+
+The modern alternative to SEALDB's dynamic bands: run the LSM on a
+standard zoned (ZBC/ZNS) device, appending files into fixed
+sequential-write zones and garbage-collecting zones when free ones run
+low.  This is the design point the paper argues against ("storing sets
+in conventional SMR drives with fixed bands ... results in space
+wastage"), implemented here so the trade-off is measurable
+(``benchmarks/test_ablation_zoned.py``).
+
+Policy:
+
+* files append into the currently *open* zone, spilling into the next
+  empty zone when full (files may span zones via extents);
+* deletes only mark garbage; a fully-garbage zone is reset and becomes
+  empty again for free;
+* when empty zones run below a reserve, the zone with the most garbage
+  is collected: its live extents are rewritten to the open zone, then
+  the zone is reset -- the relocation traffic is the zoned-storage
+  equivalent of AWA and is charged to the ``table`` category.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import AllocationError, FileNotFoundStorageError, StorageError
+from repro.fs.storage import FileStream, Storage
+from repro.smr.extent import Extent
+from repro.smr.stats import CATEGORY_TABLE
+from repro.smr.zoned import ZonedDrive
+
+
+@dataclass
+class ZoneState:
+    """Host-side bookkeeping for one zone."""
+
+    index: int
+    live: int = 0
+    garbage: int = 0
+    #: extents of live data in this zone: name -> positions in the
+    #: file's extent list
+    residents: dict[str, list[int]] = field(default_factory=dict)
+
+
+class ZoneStorage(Storage):
+    """Append-into-zones placement with greedy zone GC."""
+
+    def __init__(self, drive: ZonedDrive, *, wal_size: int, meta_size: int,
+                 gc_reserve_zones: int = 2) -> None:
+        if wal_size + meta_size > 2 * drive.zone_size:
+            raise StorageError("wal+meta regions must fit the journal zones")
+        # zones 0 and 1 hold the WAL and manifest journals (conventional
+        # zones on real hardware); data zones start at zone 2
+        super().__init__(drive, wal_size=wal_size, meta_size=meta_size,
+                         region_gap=drive.zone_size - wal_size)
+        self.gc_reserve_zones = gc_reserve_zones
+        self.first_data_zone = 2
+        self.zones = {z: ZoneState(z)
+                      for z in range(self.first_data_zone, drive.num_zones)}
+        self._open_zone: int | None = None
+        self._files: dict[str, tuple[list[Extent], int]] = {}
+        self.gc_runs = 0
+        self.gc_bytes_moved = 0
+
+    # -- zone helpers -----------------------------------------------------
+
+    def _empty_zones(self) -> list[int]:
+        return [z for z, s in self.zones.items()
+                if s.live == 0 and s.garbage == 0
+                and self.drive.zone_remaining(z) == self.drive.zone_size
+                and z != self._open_zone]
+
+    def _ensure_open_zone(self) -> int:
+        if (self._open_zone is not None
+                and self.drive.zone_remaining(self._open_zone) > 0):
+            return self._open_zone
+        empties = self._empty_zones()
+        if not empties:
+            raise AllocationError("no empty zones left")
+        self._open_zone = empties[0]
+        return self._open_zone
+
+    def _append_bytes(self, name: str, data: bytes,
+                      category: str) -> list[Extent]:
+        """Append ``data`` starting at the open zone's write pointer,
+        spilling into further empty zones as needed."""
+        extents: list[Extent] = []
+        cursor = 0
+        while cursor < len(data):
+            zone = self._ensure_open_zone()
+            room = self.drive.zone_remaining(zone)
+            chunk = data[cursor : cursor + room]
+            offset = self.drive.write_pointer(zone)
+            self.drive.write(offset, chunk, category=category)
+            extents.append(Extent(offset, offset + len(chunk)))
+            state = self.zones[zone]
+            state.live += len(chunk)
+            cursor += len(chunk)
+        return extents
+
+    def _register(self, name: str, extents: list[Extent], size: int) -> None:
+        self._files[name] = (extents, size)
+        for position, ext in enumerate(extents):
+            zone = self.drive.zone_of(ext.start)
+            self.zones[zone].residents.setdefault(name, []).append(position)
+
+    # -- garbage collection -------------------------------------------------
+
+    def _maybe_collect(self) -> None:
+        while len(self._empty_zones()) < self.gc_reserve_zones:
+            if not self._collect_one():
+                break
+
+    def _collect_one(self) -> bool:
+        """Reset the fullest-of-garbage zone, relocating its live data."""
+        candidates = [s for z, s in self.zones.items()
+                      if z != self._open_zone and s.garbage > 0]
+        if not candidates:
+            return False
+        victim = max(candidates, key=lambda s: s.garbage)
+        self.gc_runs += 1
+        # relocate live resident extents; descending positions so the
+        # splices never shift a not-yet-processed index
+        for name, positions in list(victim.residents.items()):
+            extents, _size = self._files[name]
+            for position in sorted(positions, reverse=True):
+                old = extents[position]
+                payload = self.drive.read(old.start, old.length,
+                                          category=CATEGORY_TABLE)
+                new_pieces = self._append_bytes(name, payload, CATEGORY_TABLE)
+                self.gc_bytes_moved += old.length
+                extents[position : position + 1] = new_pieces
+            self._reindex_residents(name)
+        victim.residents.clear()
+        victim.live = 0
+        victim.garbage = 0
+        self.drive.reset_zone(victim.index)
+        return True
+
+    def _reindex_residents(self, name: str) -> None:
+        """Rebuild zone->positions for one file after a splice."""
+        extents, _size = self._files[name]
+        for state in self.zones.values():
+            state.residents.pop(name, None)
+        for position, ext in enumerate(extents):
+            zone = self.drive.zone_of(ext.start)
+            self.zones[zone].residents.setdefault(name, []).append(position)
+
+    # -- Storage interface ---------------------------------------------------
+
+    def write_file(self, name: str, data: bytes,
+                   category: str = CATEGORY_TABLE) -> None:
+        if name in self._files:
+            raise StorageError(f"object {name!r} already exists")
+        self._maybe_collect()
+        extents = self._append_bytes(name, bytes(data), category)
+        self._register(name, extents, len(data))
+
+    def create_stream(self, name: str, chunk_size: int,
+                      category: str = CATEGORY_TABLE) -> FileStream:
+        if name in self._files:
+            raise StorageError(f"object {name!r} already exists")
+        self._maybe_collect()
+        return _ZoneStream(self, name, chunk_size, category)
+
+    def read_file(self, name: str, offset: int, length: int,
+                  category: str = CATEGORY_TABLE) -> bytes:
+        extents, size = self._entry(name)
+        if offset + length > size:
+            raise StorageError(
+                f"read past end of {name!r}: [{offset}, {offset + length}) "
+                f"size {size}"
+            )
+        out = bytearray()
+        pos = 0
+        for ext in extents:
+            ext_end = pos + ext.length
+            if ext_end > offset and pos < offset + length:
+                lo, hi = max(offset, pos), min(offset + length, ext_end)
+                out += self.drive.read(ext.start + (lo - pos), hi - lo,
+                                       category=category)
+            pos = ext_end
+            if pos >= offset + length:
+                break
+        return bytes(out)
+
+    def file_size(self, name: str) -> int:
+        return self._entry(name)[1]
+
+    def delete_file(self, name: str) -> None:
+        extents, _size = self._entry(name)
+        del self._files[name]
+        for ext in extents:
+            zone = self.drive.zone_of(ext.start)
+            state = self.zones[zone]
+            state.live -= ext.length
+            state.garbage += ext.length
+            state.residents.pop(name, None)
+        for zone, state in self.zones.items():
+            if state.live == 0 and state.garbage > 0 and zone != self._open_zone:
+                self.drive.reset_zone(zone)
+                state.garbage = 0
+                state.residents.clear()
+
+    def file_extents(self, name: str) -> list[Extent]:
+        return list(self._entry(name)[0])
+
+    def exists(self, name: str) -> bool:
+        return name in self._files
+
+    def list_files(self) -> list[str]:
+        return list(self._files)
+
+    def _entry(self, name: str) -> tuple[list[Extent], int]:
+        try:
+            return self._files[name]
+        except KeyError:
+            raise FileNotFoundStorageError(name) from None
+
+    # -- introspection ----------------------------------------------------
+
+    def garbage_bytes(self) -> int:
+        return sum(s.garbage for s in self.zones.values())
+
+    def live_bytes(self) -> int:
+        return sum(s.live for s in self.zones.values())
+
+
+class _ZoneStream(FileStream):
+    """Streams a file into zones chunk by chunk."""
+
+    def __init__(self, storage: ZoneStorage, name: str, chunk_size: int,
+                 category: str) -> None:
+        self._storage = storage
+        self._name = name
+        self._chunk = max(1, chunk_size)
+        self._category = category
+        self._extents: list[Extent] = []
+        self._size = 0
+        self._pending = bytearray()
+
+    def append(self, data: bytes) -> None:
+        self._pending += data
+        while len(self._pending) >= self._chunk:
+            self._flush(self._chunk)
+
+    def _flush(self, nbytes: int) -> None:
+        chunk = bytes(self._pending[:nbytes])
+        del self._pending[:nbytes]
+        pieces = self._storage._append_bytes(self._name, chunk, self._category)
+        # merge physically consecutive pieces
+        for piece in pieces:
+            if self._extents and self._extents[-1].end == piece.start:
+                self._extents[-1] = Extent(self._extents[-1].start, piece.end)
+            else:
+                self._extents.append(piece)
+        self._size += len(chunk)
+
+    def close(self) -> int:
+        if self._pending:
+            self._flush(len(self._pending))
+        if not self._extents:
+            # zero-length objects still need an identity
+            self._storage._files[self._name] = ([], 0)
+            return 0
+        self._storage._register(self._name, self._extents, self._size)
+        return self._size

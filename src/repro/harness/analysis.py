@@ -1,0 +1,127 @@
+"""Introspection and analysis of a running store.
+
+LevelDB exposes ``GetProperty("leveldb.stats")``; this module provides
+the equivalent for any :class:`~repro.kvstore.KVStoreBase` -- per-level
+structure, per-level compaction traffic, drive-side counters -- plus
+helpers the experiments use for deeper digging.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.harness.report import render_table
+from repro.kvstore import KVStoreBase
+
+MiB = 1024 * 1024
+
+
+@dataclass
+class LevelStats:
+    """Structure and traffic of one LSM level."""
+
+    level: int
+    files: int = 0
+    bytes: int = 0
+    compactions_from: int = 0
+    bytes_compacted_from: int = 0
+    trivial_moves_from: int = 0
+
+
+@dataclass
+class StoreAnalysis:
+    """Full snapshot of a store's structural state."""
+
+    store: str
+    levels: list[LevelStats] = field(default_factory=list)
+    total_files: int = 0
+    total_bytes: int = 0
+    flushes: int = 0
+    flush_bytes: int = 0
+    wa: float = 0.0
+    awa: float = 0.0
+    mwa: float = 0.0
+    device_reads: int = 0
+    device_writes: int = 0
+    seeks: int = 0
+    busy_time: float = 0.0
+    block_cache_hit_rate: float = 0.0
+
+
+def analyze(store: KVStoreBase) -> StoreAnalysis:
+    """Collect the full structural/traffic snapshot for ``store``."""
+    version = store.db.versions.current
+    per_level: dict[int, LevelStats] = {
+        level: LevelStats(level,
+                          files=len(version.files[level]),
+                          bytes=version.level_bytes(level))
+        for level in range(version.num_levels)
+    }
+    for record in store.compaction_records:
+        stats = per_level[record.level]
+        if record.trivial_move:
+            stats.trivial_moves_from += 1
+        else:
+            stats.compactions_from += 1
+            stats.bytes_compacted_from += record.input_bytes
+
+    drive_stats = store.drive.stats
+    cache = store.db.block_cache
+    return StoreAnalysis(
+        store=store.name,
+        levels=[per_level[level] for level in sorted(per_level)],
+        total_files=version.num_files(),
+        total_bytes=version.total_bytes(),
+        flushes=len(store.db.flush_records),
+        flush_bytes=store.tracker.flush_bytes,
+        wa=store.wa(),
+        awa=store.awa(),
+        mwa=store.mwa(),
+        device_reads=drive_stats.bytes_read,
+        device_writes=drive_stats.bytes_written,
+        seeks=drive_stats.seeks,
+        busy_time=drive_stats.busy_time,
+        block_cache_hit_rate=cache.hit_rate if cache is not None else 0.0,
+    )
+
+
+def stats_string(store: KVStoreBase) -> str:
+    """A ``leveldb.stats``-style report for humans."""
+    a = analyze(store)
+    rows = [[s.level, s.files, s.bytes / MiB, s.compactions_from,
+             s.trivial_moves_from, s.bytes_compacted_from / MiB]
+            for s in a.levels]
+    table = render_table(
+        f"{a.store} level structure",
+        ["level", "files", "MiB", "compactions", "moves", "compacted MiB"],
+        rows,
+    )
+    footer = (
+        f"totals: {a.total_files} files, {a.total_bytes / MiB:.2f} MiB live, "
+        f"{a.flushes} flushes\n"
+        f"amplification: WA={a.wa:.2f}x AWA={a.awa:.2f}x MWA={a.mwa:.2f}x\n"
+        f"device: read {a.device_reads / MiB:.1f} MiB, "
+        f"wrote {a.device_writes / MiB:.1f} MiB, {a.seeks:,} seeks, "
+        f"busy {a.busy_time:.1f}s\n"
+        f"block cache hit rate: {a.block_cache_hit_rate:.1%}"
+    )
+    return table + "\n" + footer
+
+
+def compaction_histogram(store: KVStoreBase,
+                         bucket_seconds: float = 1.0) -> dict[float, int]:
+    """Latency histogram of real compactions (Fig. 10a's distribution)."""
+    histogram: dict[float, int] = defaultdict(int)
+    for record in store.real_compactions():
+        bucket = int(record.latency / bucket_seconds) * bucket_seconds
+        histogram[bucket] += 1
+    return dict(sorted(histogram.items()))
+
+
+def bytes_by_level_flow(store: KVStoreBase) -> dict[tuple[int, int], int]:
+    """Bytes moved between level pairs ``(from, to)`` by compactions."""
+    flow: dict[tuple[int, int], int] = defaultdict(int)
+    for record in store.real_compactions():
+        flow[(record.level, record.output_level)] += record.output_bytes
+    return dict(sorted(flow.items()))

@@ -1,0 +1,105 @@
+"""Multi-seed A/B comparison harness.
+
+Single-run ratios can be lucky.  :func:`compare` repeats a workload on
+two store configurations across several seeds and reports mean, spread,
+and a conservative verdict -- the tool behind the stability claims in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.harness.profiles import DEFAULT_PROFILE, ScaleProfile
+from repro.harness.report import render_table
+from repro.harness.runner import make_store
+from repro.kvstore import KVStoreBase
+
+
+@dataclass
+class SampleStats:
+    """Mean/spread of one configuration's measurements."""
+
+    values: list[float] = field(default_factory=list)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.values) / len(self.values) if self.values else 0.0
+
+    @property
+    def stdev(self) -> float:
+        if len(self.values) < 2:
+            return 0.0
+        m = self.mean
+        return math.sqrt(sum((v - m) ** 2 for v in self.values)
+                         / (len(self.values) - 1))
+
+    @property
+    def cv(self) -> float:
+        """Coefficient of variation (stdev / mean)."""
+        return self.stdev / self.mean if self.mean else 0.0
+
+
+@dataclass
+class ComparisonResult:
+    """Outcome of an A/B comparison."""
+
+    metric: str
+    a_name: str
+    b_name: str
+    a: SampleStats
+    b: SampleStats
+    seeds: list[int]
+
+    @property
+    def ratio(self) -> float:
+        """Mean(B) / mean(A) -- how much faster/bigger B is."""
+        return self.b.mean / self.a.mean if self.a.mean else 0.0
+
+    @property
+    def ratio_range(self) -> tuple[float, float]:
+        """Per-seed min and max of the B/A ratio."""
+        ratios = [b / a for a, b in zip(self.a.values, self.b.values) if a]
+        return (min(ratios), max(ratios)) if ratios else (0.0, 0.0)
+
+    @property
+    def separated(self) -> bool:
+        """True when the per-seed ratio never crosses 1.0."""
+        lo, hi = self.ratio_range
+        return lo > 1.0 or hi < 1.0
+
+    def render(self) -> str:
+        lo, hi = self.ratio_range
+        rows = [
+            [self.a_name, self.a.mean, self.a.stdev, f"{self.a.cv:.1%}"],
+            [self.b_name, self.b.mean, self.b.stdev, f"{self.b.cv:.1%}"],
+        ]
+        table = render_table(
+            f"A/B comparison: {self.metric} over seeds {self.seeds}",
+            ["configuration", "mean", "stdev", "cv"], rows)
+        verdict = ("stable" if self.separated
+                   else "NOT separated (ratio range crosses 1.0)")
+        return (f"{table}\n{self.b_name} / {self.a_name}: "
+                f"{self.ratio:.2f}x (range {lo:.2f}-{hi:.2f}) -- {verdict}")
+
+
+def compare(a_kind: str, b_kind: str,
+            measure: Callable[[KVStoreBase, int], float], *,
+            metric: str = "ops/s",
+            seeds: tuple[int, ...] = (0, 1, 2),
+            profile: ScaleProfile = DEFAULT_PROFILE) -> ComparisonResult:
+    """Measure two store kinds over several seeds.
+
+    ``measure(store, seed)`` runs a workload on a *fresh* store and
+    returns one number (e.g. throughput).
+    """
+    a_stats, b_stats = SampleStats(), SampleStats()
+    for seed in seeds:
+        a_stats.values.append(measure(make_store(a_kind, profile), seed))
+        b_stats.values.append(measure(make_store(b_kind, profile), seed))
+    a_name = make_store(a_kind, profile).name
+    b_name = make_store(b_kind, profile).name
+    return ComparisonResult(metric, a_name, b_name, a_stats, b_stats,
+                            list(seeds))

@@ -1,0 +1,122 @@
+"""Measurement helpers: compaction summaries, band counting, layouts."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.kvstore import KVStoreBase
+from repro.lsm.db import CompactionRecord
+from repro.smr.fixed_band import FixedBandSMRDrive
+
+
+@dataclass
+class WorkloadResult:
+    """Generic outcome of one workload phase against one store."""
+
+    store: str
+    workload: str
+    ops: int
+    sim_seconds: float
+
+    @property
+    def ops_per_sec(self) -> float:
+        return self.ops / self.sim_seconds if self.sim_seconds > 0 else 0.0
+
+
+@dataclass
+class CompactionSummary:
+    """Aggregate compaction behaviour of one run (Fig. 10)."""
+
+    count: int = 0
+    total_latency: float = 0.0
+    total_input_bytes: int = 0
+    total_output_bytes: int = 0
+    total_input_files: int = 0
+    total_output_files: int = 0
+    latencies: list[float] = field(default_factory=list)
+
+    @property
+    def avg_latency(self) -> float:
+        return self.total_latency / self.count if self.count else 0.0
+
+    @property
+    def avg_input_bytes(self) -> float:
+        return self.total_input_bytes / self.count if self.count else 0.0
+
+    @property
+    def avg_input_files(self) -> float:
+        return self.total_input_files / self.count if self.count else 0.0
+
+    @property
+    def avg_output_files(self) -> float:
+        return self.total_output_files / self.count if self.count else 0.0
+
+
+def summarize_compactions(records: list[CompactionRecord]) -> CompactionSummary:
+    """Aggregate non-trivial compactions."""
+    summary = CompactionSummary()
+    for record in records:
+        if record.trivial_move:
+            continue
+        summary.count += 1
+        summary.total_latency += record.latency
+        summary.total_input_bytes += record.input_bytes
+        summary.total_output_bytes += record.output_bytes
+        summary.total_input_files += record.num_input_files
+        summary.total_output_files += record.num_output_files
+        summary.latencies.append(record.latency)
+    return summary
+
+
+def bands_written_per_compaction(store: KVStoreBase) -> list[int]:
+    """For each real compaction, the number of distinct SMR bands its
+    output SSTables were written into (Fig. 3a)."""
+    drive = store.drive
+    if not isinstance(drive, FixedBandSMRDrive):
+        raise TypeError("band counting requires a fixed-band SMR drive")
+    counts: list[int] = []
+    for record in store.real_compactions():
+        bands: set[int] = set()
+        for extents in record.output_extents:
+            for ext in extents:
+                first = drive.band_of(ext.start)
+                last = drive.band_of(ext.end - 1) if ext.length else first
+                bands.update(range(first, last + 1))
+        counts.append(len(bands))
+    return counts
+
+
+def output_offsets_per_compaction(store: KVStoreBase) -> list[list[int]]:
+    """Physical start offsets of each compaction's output SSTables
+    (the scatter data of Fig. 2 and Fig. 11)."""
+    offsets: list[list[int]] = []
+    for record in store.real_compactions():
+        row = [ext.start for extents in record.output_extents for ext in extents]
+        offsets.append(row)
+    return offsets
+
+
+def compaction_span(record: CompactionRecord) -> int:
+    """Distance covered by one compaction's I/O (scatter width)."""
+    positions = [ext.start for extents in record.input_extents + record.output_extents
+                 for ext in extents]
+    if not positions:
+        return 0
+    return max(positions) - min(positions)
+
+
+def contiguous_output_fraction(store: KVStoreBase) -> float:
+    """Fraction of real compactions whose outputs form one contiguous run."""
+    records = store.real_compactions()
+    if not records:
+        return 1.0
+    contiguous = 0
+    for record in records:
+        extents = sorted(
+            (ext for extents in record.output_extents for ext in extents),
+            key=lambda e: e.start,
+        )
+        ok = all(a.end == b.start for a, b in zip(extents, extents[1:]))
+        if ok:
+            contiguous += 1
+    return contiguous / len(records)

@@ -1,0 +1,123 @@
+"""Text plots and CSV export for the experiment figures.
+
+The paper's figures are scatter plots (Figs. 2, 10a, 11), bar charts
+(Figs. 8, 9, 12, 14), and line series (Fig. 3).  For a dependency-free
+repository the renderers here draw them as ASCII; the CSV writers dump
+the underlying series so any external plotting tool can regenerate the
+actual figures.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import pathlib
+from typing import Iterable, Mapping, Sequence
+
+
+def ascii_scatter(points: Iterable[tuple[float, float]], *,
+                  width: int = 72, height: int = 20,
+                  title: str = "", xlabel: str = "", ylabel: str = "",
+                  marker: str = "*") -> str:
+    """Scatter plot of ``(x, y)`` points on a character grid."""
+    pts = list(points)
+    if not pts:
+        return f"{title}\n(no data)"
+    xs = [p[0] for p in pts]
+    ys = [p[1] for p in pts]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in pts:
+        col = int((x - x_lo) / x_span * (width - 1))
+        row = int((y - y_lo) / y_span * (height - 1))
+        grid[height - 1 - row][col] = marker
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = f"{y_hi:g}"
+    bottom_label = f"{y_lo:g}"
+    pad = max(len(top_label), len(bottom_label), len(ylabel))
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = top_label
+        elif i == height - 1:
+            label = bottom_label
+        elif i == height // 2 and ylabel:
+            label = ylabel
+        else:
+            label = ""
+        lines.append(f"{label:>{pad}} |" + "".join(row))
+    lines.append(" " * pad + " +" + "-" * width)
+    x_axis = f"{x_lo:g}".ljust(width - 10) + f"{x_hi:g}"
+    lines.append(" " * pad + "  " + x_axis)
+    if xlabel:
+        lines.append(" " * pad + "  " + xlabel.center(width))
+    return "\n".join(lines)
+
+
+def ascii_series(series: Mapping[str, Sequence[float]], *,
+                 width: int = 72, height: int = 16,
+                 title: str = "") -> str:
+    """Overlay several named y-series (x = index) with distinct markers."""
+    markers = "*o+x#@%&"
+    blocks = [title] if title else []
+    all_points = []
+    for index, (name, values) in enumerate(series.items()):
+        marker = markers[index % len(markers)]
+        blocks.append(f"  {marker} = {name}")
+        all_points.append((marker, values))
+    if not all_points or all(not v for _m, v in all_points):
+        blocks.append("(no data)")
+        return "\n".join(blocks)
+    y_lo = min(min(v) for _m, v in all_points if v)
+    y_hi = max(max(v) for _m, v in all_points if v)
+    y_span = (y_hi - y_lo) or 1.0
+    n = max(len(v) for _m, v in all_points)
+    grid = [[" "] * width for _ in range(height)]
+    for marker, values in all_points:
+        for i, y in enumerate(values):
+            col = int(i / max(1, n - 1) * (width - 1))
+            row = int((y - y_lo) / y_span * (height - 1))
+            grid[height - 1 - row][col] = marker
+    pad = max(len(f"{y_hi:g}"), len(f"{y_lo:g}"))
+    for i, row in enumerate(grid):
+        label = (f"{y_hi:g}" if i == 0
+                 else f"{y_lo:g}" if i == height - 1 else "")
+        blocks.append(f"{label:>{pad}} |" + "".join(row))
+    blocks.append(" " * pad + " +" + "-" * width)
+    return "\n".join(blocks)
+
+
+def disk_layout_map(extents: Iterable[tuple[int, int, str]], capacity: int,
+                    *, width: int = 96, title: str = "") -> str:
+    """One-line-per-state map of the disk: which regions hold what.
+
+    ``extents`` are ``(start, end, tag)`` with single-character tags
+    (e.g. ``#`` data, ``.`` free, ``g`` guard).  Later extents overwrite
+    earlier ones on the map.
+    """
+    cells = [" "] * width
+    for start, end, tag in extents:
+        lo = int(start / capacity * width)
+        hi = max(lo + 1, int(end / capacity * width))
+        for i in range(lo, min(hi, width)):
+            cells[i] = tag[0]
+    body = "".join(cells)
+    return (f"{title}\n|{body}|" if title else f"|{body}|")
+
+
+def to_csv(headers: Sequence[str], rows: Iterable[Sequence[object]],
+           path: str | pathlib.Path | None = None) -> str:
+    """Render rows as CSV text; optionally write them to ``path``."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(headers)
+    for row in rows:
+        writer.writerow(row)
+    text = buf.getvalue()
+    if path is not None:
+        pathlib.Path(path).write_text(text)
+    return text

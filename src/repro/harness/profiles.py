@@ -1,0 +1,137 @@
+"""Scale profiles: the paper's hardware-scale parameters mapped down.
+
+The paper runs 100 GB loads with 4 KB values, 4 MB SSTables, and
+20-60 MB bands on a 1 TB drive.  A pure-Python simulation keeps every
+*ratio* that drives the results and shrinks the absolute bytes:
+
+==========================  ============  ==================
+parameter                   paper         profile default
+==========================  ============  ==================
+SSTable size                4 MB          64 KiB
+band size (10 x SSTable)    40 MB         640 KiB
+guard region (= SSTable)    4 MB          64 KiB
+value size                  4 KB          100 B
+key size                    16 B          16 B
+amplification factor        10            10
+L0 trigger                  4             4
+database : SSTable ratio    25600 : 1     scaled per run
+==========================  ============  ==================
+
+Experiments name the profile they use, so the scaling is explicit in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.lsm.options import Options
+
+KiB = 1024
+MiB = 1024 * 1024
+
+
+@dataclass(frozen=True)
+class ScaleProfile:
+    """A coherent set of scaled sizes for one experiment."""
+
+    name: str
+    capacity: int = 256 * MiB
+    sstable_size: int = 64 * KiB
+    band_size: int = 640 * KiB
+    guard_size: int = 64 * KiB
+    block_size: int = 4 * KiB
+    key_size: int = 16
+    value_size: int = 100
+    wal_region: int = 640 * KiB
+    meta_region: int = 640 * KiB
+    l0_compaction_trigger: int = 4
+    amplification_factor: int = 10
+    level_base_tables: int = 4
+    max_levels: int = 7
+    block_cache_bytes: int = 2 * MiB
+    bloom_bits_per_key: int = 10
+
+    #: the paper's SSTable size; io_scale derives from it
+    PAPER_SSTABLE_SIZE = 4 * MiB
+
+    @property
+    def write_buffer_size(self) -> int:
+        return self.sstable_size
+
+    @property
+    def io_scale(self) -> float:
+        """How much smaller this profile is than the paper's hardware.
+
+        Drive transfer rates are divided by this factor (see
+        :meth:`repro.smr.timing.DriveProfile.scaled`) so that moving a
+        scaled band/SSTable costs the same simulated time as moving the
+        paper-scale object on the real drive.
+        """
+        return self.PAPER_SSTABLE_SIZE / self.sstable_size
+
+    @property
+    def entry_size(self) -> int:
+        return self.key_size + self.value_size
+
+    def entries_for_bytes(self, nbytes: int) -> int:
+        """Number of key-value pairs that amount to ``nbytes`` of payload."""
+        return max(1, nbytes // self.entry_size)
+
+    #: CPU merge/checksum speed assumed during compactions (~140 MB/s
+    #: per core); the per-byte cost is multiplied by io_scale so the
+    #: simulated CPU:disk time ratio matches hardware scale
+    CPU_SECONDS_PER_BYTE = 7e-9
+
+    def options(self, **overrides) -> Options:
+        """Engine options derived from this profile."""
+        base = Options(
+            write_buffer_size=self.write_buffer_size,
+            sstable_size=self.sstable_size,
+            block_size=self.block_size,
+            bloom_bits_per_key=self.bloom_bits_per_key,
+            l0_compaction_trigger=self.l0_compaction_trigger,
+            max_levels=self.max_levels,
+            base_level_bytes=self.level_base_tables * self.sstable_size,
+            amplification_factor=self.amplification_factor,
+            block_cache_bytes=self.block_cache_bytes,
+            compaction_cpu_per_byte=self.CPU_SECONDS_PER_BYTE * self.io_scale,
+        )
+        if overrides:
+            base = replace(base, **overrides)
+        return base
+
+    def scaled(self, **changes) -> "ScaleProfile":
+        """A copy with some fields replaced."""
+        return replace(self, **changes)
+
+
+#: default scale for benchmarks (multi-level trees, minutes of runtime);
+#: calibrated so the Fig. 8 / Fig. 12 shapes match the paper at 8-32 MiB
+#: database sizes (paper scale / 128)
+DEFAULT_PROFILE = ScaleProfile(
+    name="default",
+    capacity=192 * MiB,
+    sstable_size=32 * KiB,
+    band_size=320 * KiB,
+    guard_size=32 * KiB,
+    block_size=2 * KiB,
+    value_size=100,
+    wal_region=640 * KiB,
+    meta_region=640 * KiB,
+    block_cache_bytes=1 * MiB,
+)
+
+#: small scale for unit/integration tests (seconds of runtime)
+SMALL_PROFILE = ScaleProfile(
+    name="small",
+    capacity=32 * MiB,
+    sstable_size=8 * KiB,
+    band_size=80 * KiB,
+    guard_size=8 * KiB,
+    block_size=1 * KiB,
+    value_size=64,
+    wal_region=80 * KiB,
+    meta_region=80 * KiB,
+    block_cache_bytes=256 * KiB,
+)

@@ -1,0 +1,43 @@
+"""Fixed-width table rendering for benchmark output.
+
+Benchmarks print paper-style tables (rows = stores, columns = metrics)
+so EXPERIMENTS.md can record paper-vs-measured side by side.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def render_table(title: str, headers: Sequence[str],
+                 rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned text table with a title rule."""
+    cells = [[_fmt(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [title, "=" * len(title)]
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in cells:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def normalize(values: Mapping[str, float], base: str) -> dict[str, float]:
+    """Scale every value so ``values[base] == 1.0`` (the paper's
+    "normalized to LevelDB" presentation)."""
+    denom = values[base]
+    if denom == 0:
+        raise ZeroDivisionError(f"baseline {base!r} measured zero")
+    return {key: value / denom for key, value in values.items()}

@@ -1,0 +1,102 @@
+"""Store factory and the cross-store experiment runner."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ReproError
+from repro.harness.metrics import WorkloadResult
+from repro.harness.profiles import DEFAULT_PROFILE, ScaleProfile
+from repro.kvstore import KVStoreBase
+from repro.workloads.generators import KeyValueGenerator
+from repro.workloads.microbench import MicroBenchmark
+
+#: the paper's four configurations plus the ZoneKV (ZBC/ZNS) extension
+STORE_KINDS = ("leveldb", "smrdb", "leveldb+sets", "sealdb", "zonekv")
+
+
+def make_store(kind: str, profile: ScaleProfile = DEFAULT_PROFILE,
+               **kwargs) -> KVStoreBase:
+    """Instantiate a store by name: the paper's four configurations
+    ("leveldb", "smrdb", "leveldb+sets", "sealdb") or the zoned-device
+    extension ("zonekv")."""
+    # Imported here: the store modules import harness.profiles, so a
+    # top-level import would be circular.
+    from repro.baselines.leveldb import LevelDBStore
+    from repro.baselines.leveldb_sets import LevelDBWithSets
+    from repro.baselines.smrdb import SMRDBStore
+    from repro.baselines.zonekv import ZoneKVStore
+    from repro.core.sealdb import SealDB
+
+    kind = kind.lower()
+    if kind == "leveldb":
+        return LevelDBStore(profile, **kwargs)
+    if kind == "smrdb":
+        return SMRDBStore(profile, **kwargs)
+    if kind == "leveldb+sets":
+        return LevelDBWithSets(profile, **kwargs)
+    if kind == "sealdb":
+        return SealDB(profile, **kwargs)
+    if kind == "zonekv":
+        return ZoneKVStore(profile, **kwargs)
+    raise ReproError(f"unknown store kind {kind!r}; choose from {STORE_KINDS}")
+
+
+class ExperimentRunner:
+    """Runs the micro suite (or custom phases) across several stores.
+
+    Every store gets a *fresh* instance per phase sequence, mirroring
+    the paper's methodology (each basic-performance bar is measured on
+    its own database).
+    """
+
+    def __init__(self, profile: ScaleProfile = DEFAULT_PROFILE,
+                 store_kinds: tuple[str, ...] = ("leveldb", "smrdb", "sealdb"),
+                 seed: int = 0) -> None:
+        self.profile = profile
+        self.store_kinds = store_kinds
+        self.seed = seed
+        self.stores: dict[str, KVStoreBase] = {}
+
+    def kv(self) -> KeyValueGenerator:
+        return KeyValueGenerator(self.profile.key_size, self.profile.value_size)
+
+    def run_micro_suite(self, db_bytes: int, read_ops: int
+                        ) -> dict[str, dict[str, WorkloadResult]]:
+        """Fig. 8: the four basic workloads for every store.
+
+        Returns ``results[workload][store_name]``.  Reads run against
+        the random-loaded database, as in the paper.
+        """
+        num_entries = self.profile.entries_for_bytes(db_bytes)
+        bench = MicroBenchmark(self.kv(), num_entries, seed=self.seed)
+        results: dict[str, dict[str, WorkloadResult]] = {
+            w: {} for w in ("fillseq", "fillrandom", "readseq", "readrandom")
+        }
+        for kind in self.store_kinds:
+            seq_store = make_store(kind, self.profile)
+            r = bench.fill_seq(seq_store)
+            results["fillseq"][seq_store.name] = WorkloadResult(
+                seq_store.name, r.workload, r.ops, r.sim_seconds)
+
+            rand_store = make_store(kind, self.profile)
+            r = bench.fill_random(rand_store)
+            results["fillrandom"][rand_store.name] = WorkloadResult(
+                rand_store.name, r.workload, r.ops, r.sim_seconds)
+            self.stores[rand_store.name] = rand_store
+
+            r = bench.read_seq(rand_store, read_ops)
+            results["readseq"][rand_store.name] = WorkloadResult(
+                rand_store.name, r.workload, r.ops, r.sim_seconds)
+
+            r = bench.read_random(rand_store, read_ops)
+            results["readrandom"][rand_store.name] = WorkloadResult(
+                rand_store.name, r.workload, r.ops, r.sim_seconds)
+        return results
+
+    def run_custom(self, kind: str,
+                   phase: Callable[[KVStoreBase], WorkloadResult]
+                   ) -> WorkloadResult:
+        store = make_store(kind, self.profile)
+        self.stores[store.name] = store
+        return phase(store)

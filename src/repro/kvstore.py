@@ -1,0 +1,99 @@
+"""Common facade for the four evaluated stores.
+
+Each store bundles a drive, a placement policy, and an engine
+configuration; :class:`KVStoreBase` wires them together and exposes the
+operations plus the measurements every experiment needs (WA / AWA /
+MWA, compaction traces, simulated time).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.fs.storage import Storage
+from repro.lsm.db import DB, CompactionRecord
+from repro.lsm.options import Options
+from repro.smr.drive import Drive
+from repro.smr.stats import AmplificationTracker
+
+
+class KVStoreBase:
+    """A named store: drive + placement + engine."""
+
+    name = "base"
+
+    def __init__(self, drive: Drive, storage: Storage, options: Options) -> None:
+        self.drive = drive
+        self.storage = storage
+        self.options = options
+        self.tracker = AmplificationTracker()
+        self.db = DB(storage, options, self.tracker)
+
+    # -- operations ---------------------------------------------------------
+
+    def put(self, key: bytes, value: bytes) -> None:
+        self.db.put(key, value)
+
+    def get(self, key: bytes) -> bytes | None:
+        return self.db.get(key)
+
+    def delete(self, key: bytes) -> None:
+        self.db.delete(key)
+
+    def scan(self, start: bytes | None = None, end: bytes | None = None,
+             limit: int | None = None) -> Iterator[tuple[bytes, bytes]]:
+        return self.db.scan(start, end, limit)
+
+    def write_batch(self, batch) -> None:
+        """Apply a :class:`~repro.lsm.wal.WriteBatch` atomically."""
+        self.db.write(batch)
+
+    def compact_range(self, start: bytes | None = None,
+                      end: bytes | None = None) -> int:
+        """Manually compact ``[start, end]`` down the tree."""
+        return self.db.compact_range(start, end)
+
+    def flush(self) -> None:
+        self.db.flush()
+
+    def close(self) -> None:
+        self.db.close()
+
+    def reopen(self) -> None:
+        """Simulate a crash-restart: rebuild the engine from the
+        manifest log and WAL on the (surviving) simulated drive."""
+        self.db = DB.recover(self.storage, self.options, self.tracker)
+
+    # -- measurements ---------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self.drive.now
+
+    @property
+    def compaction_records(self) -> list[CompactionRecord]:
+        return self.db.compaction_records
+
+    def real_compactions(self) -> list[CompactionRecord]:
+        """Compactions that moved data (trivial moves excluded)."""
+        return [r for r in self.compaction_records if not r.trivial_move]
+
+    def wa(self) -> float:
+        """Write amplification from the LSM-tree (Table I)."""
+        return self.tracker.wa()
+
+    def awa(self) -> float:
+        """Auxiliary write amplification from the drive (Table I)."""
+        return self.tracker.awa(self.drive.stats)
+
+    def mwa(self) -> float:
+        """Multiplicative overall write amplification (Table I)."""
+        return self.tracker.mwa(self.drive.stats)
+
+    def level_summary(self) -> list[tuple[int, int, int]]:
+        return self.db.level_summary()
+
+    def describe(self) -> str:
+        return (f"{self.name}: drive={type(self.drive).__name__} "
+                f"storage={type(self.storage).__name__} "
+                f"levels={self.options.max_levels} sets={self.options.use_sets}")

@@ -1,0 +1,36 @@
+"""A LevelDB-like LSM-tree engine, written from scratch.
+
+This is the substrate the paper's three stores share: a skiplist
+memtable, a write-ahead log with LevelDB's block/record framing,
+SSTables with prefix-compressed blocks, restart points, a per-table
+bloom filter, a leveled version set with size-scored compaction picking,
+and merging iterators for reads and compactions.
+
+The engine is placement-agnostic (it talks to a
+:class:`~repro.fs.storage.Storage`) and exposes two hooks the paper's
+contribution plugs into:
+
+* ``Options.use_sets`` -- compaction outputs are handed to the storage
+  as one group (a *set*) and compaction inputs are prefetched with whole
+  -file sequential reads instead of interleaved block reads;
+* ``Options.victim_policy`` -- set-aware victim selection that prefers
+  compacting the set with the most invalidated members.
+"""
+
+from repro.lsm.options import Options
+from repro.lsm.db import DB, CompactionRecord
+from repro.lsm.ikey import InternalKey, TYPE_DELETION, TYPE_VALUE
+from repro.lsm.verify import VerifyReport, verify_db
+from repro.lsm.wal import WriteBatch
+
+__all__ = [
+    "DB",
+    "CompactionRecord",
+    "InternalKey",
+    "Options",
+    "TYPE_DELETION",
+    "TYPE_VALUE",
+    "VerifyReport",
+    "WriteBatch",
+    "verify_db",
+]

@@ -1,0 +1,183 @@
+"""SSTable block format: prefix-compressed entries with restart points.
+
+The layout is LevelDB's::
+
+    entry*   : varint shared | varint non_shared | varint value_len
+               | key_delta (non_shared bytes) | value
+    restarts : fixed32 offset per restart point
+    trailer  : fixed32 num_restarts | fixed32 crc32(payload)
+
+Keys are serialized internal keys (user key + 8-byte trailer).  Every
+``restart_interval``-th entry stores its full key (``shared = 0``) so a
+reader can binary-search the restart array and then scan at most one
+interval.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import CorruptionError
+from repro.lsm.ikey import InternalKey, decode_internal_key
+from repro.util.varint import (
+    decode_fixed32,
+    decode_varint,
+    encode_fixed32,
+    encode_varint,
+)
+
+
+@dataclass(frozen=True)
+class BlockHandle:
+    """Location of a block inside its table file."""
+
+    offset: int
+    size: int
+
+    def encode(self) -> bytes:
+        return encode_varint(self.offset) + encode_varint(self.size)
+
+    @classmethod
+    def decode(cls, data: bytes, pos: int = 0) -> tuple["BlockHandle", int]:
+        offset, pos = decode_varint(data, pos)
+        size, pos = decode_varint(data, pos)
+        return cls(offset, size), pos
+
+
+def _shared_prefix_len(a: bytes, b: bytes) -> int:
+    n = min(len(a), len(b))
+    i = 0
+    while i < n and a[i] == b[i]:
+        i += 1
+    return i
+
+
+class BlockBuilder:
+    """Accumulates sorted ``(encoded_key, value)`` pairs into one block."""
+
+    def __init__(self, restart_interval: int = 16) -> None:
+        if restart_interval < 1:
+            raise ValueError("restart interval must be >= 1")
+        self._restart_interval = restart_interval
+        self._buf = bytearray()
+        self._restarts: list[int] = [0]
+        self._counter = 0
+        self._last_key = b""
+        self._num_entries = 0
+
+    @property
+    def num_entries(self) -> int:
+        return self._num_entries
+
+    @property
+    def empty(self) -> bool:
+        return self._num_entries == 0
+
+    def size_estimate(self) -> int:
+        """Bytes the finished block will occupy (excluding the crc)."""
+        return len(self._buf) + 4 * (len(self._restarts) + 1)
+
+    def add(self, key: bytes, value: bytes) -> None:
+        shared = 0
+        if self._counter < self._restart_interval:
+            shared = _shared_prefix_len(self._last_key, key)
+        else:
+            self._restarts.append(len(self._buf))
+            self._counter = 0
+        self._buf += encode_varint(shared)
+        self._buf += encode_varint(len(key) - shared)
+        self._buf += encode_varint(len(value))
+        self._buf += key[shared:]
+        self._buf += value
+        self._last_key = key
+        self._counter += 1
+        self._num_entries += 1
+
+    def finish(self) -> bytes:
+        payload = bytearray(self._buf)
+        for offset in self._restarts:
+            payload += encode_fixed32(offset)
+        payload += encode_fixed32(len(self._restarts))
+        payload += encode_fixed32(zlib.crc32(payload))
+        return bytes(payload)
+
+
+class Block:
+    """A parsed, immutable block supporting iteration and seek."""
+
+    def __init__(self, data: bytes) -> None:
+        if len(data) < 12:
+            raise CorruptionError(f"block too small: {len(data)} bytes")
+        stored_crc = decode_fixed32(data, len(data) - 4)
+        payload = data[:-4]
+        if zlib.crc32(payload) != stored_crc:
+            raise CorruptionError("block crc mismatch")
+        num_restarts = decode_fixed32(payload, len(payload) - 4)
+        restart_end = len(payload) - 4
+        restart_start = restart_end - 4 * num_restarts
+        if restart_start < 0:
+            raise CorruptionError("block restart array overruns block")
+        self._data = payload[:restart_start]
+        self._restarts = [
+            decode_fixed32(payload, restart_start + 4 * i) for i in range(num_restarts)
+        ]
+        self.size = len(data)
+
+    def _parse_entry(self, pos: int, prev_key: bytes) -> tuple[bytes, bytes, int]:
+        shared, pos = decode_varint(self._data, pos)
+        non_shared, pos = decode_varint(self._data, pos)
+        value_len, pos = decode_varint(self._data, pos)
+        if shared > len(prev_key):
+            raise CorruptionError("corrupt shared-prefix length")
+        key = prev_key[:shared] + self._data[pos : pos + non_shared]
+        pos += non_shared
+        value = self._data[pos : pos + value_len]
+        pos += value_len
+        return key, value, pos
+
+    def _entries_from_restart(self, restart_index: int) -> Iterator[tuple[bytes, bytes]]:
+        pos = self._restarts[restart_index]
+        end = (
+            self._restarts[restart_index + 1]
+            if restart_index + 1 < len(self._restarts)
+            else len(self._data)
+        )
+        key = b""
+        while pos < end:
+            key, value, pos = self._parse_entry(pos, key)
+            yield key, value
+
+    def __iter__(self) -> Iterator[tuple[InternalKey, bytes]]:
+        for index in range(len(self._restarts)):
+            for key, value in self._entries_from_restart(index):
+                yield decode_internal_key(key), value
+
+    def _restart_key(self, index: int) -> InternalKey:
+        pos = self._restarts[index]
+        key, _value, _pos = self._parse_entry(pos, b"")
+        return decode_internal_key(key)
+
+    def seek(self, target: InternalKey) -> Iterator[tuple[InternalKey, bytes]]:
+        """Iterate entries with internal key >= ``target``."""
+        if not self._restarts or not self._data:
+            return
+        # Binary search for the last restart whose key is < target.
+        lo, hi = 0, len(self._restarts) - 1
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if self._restart_key(mid) < target:
+                lo = mid
+            else:
+                hi = mid - 1
+        target_sort = target.sort_key
+        started = False
+        for index in range(lo, len(self._restarts)):
+            for key, value in self._entries_from_restart(index):
+                ikey = decode_internal_key(key)
+                if not started and ikey.sort_key < target_sort:
+                    continue
+                started = True
+                yield ikey, value
+            started = True  # later restarts are all >= target

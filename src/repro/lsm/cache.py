@@ -1,0 +1,85 @@
+"""LRU cache, used for data blocks and open-table handles.
+
+A plain ordered-dict LRU with byte-budget eviction; hit/miss counters
+feed the experiment harness (block-cache behaviour matters for the read
+benchmarks of Fig. 8).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Callable, Hashable
+
+
+class LRUCache:
+    """Byte-budgeted LRU mapping.
+
+    ``charge_fn`` extracts the byte charge from a cached value
+    (defaults to ``value.size`` then ``len(value)``).
+    """
+
+    def __init__(self, capacity_bytes: int,
+                 charge_fn: Callable[[Any], int] | None = None) -> None:
+        self.capacity = capacity_bytes
+        self._charge_fn = charge_fn or _default_charge
+        self._entries: OrderedDict[Hashable, tuple[Any, int]] = OrderedDict()
+        self._used = 0
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used
+
+    def get(self, key: Hashable) -> Any:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry[0]
+
+    def put(self, key: Hashable, value: Any) -> None:
+        charge = self._charge_fn(value)
+        if key in self._entries:
+            self._used -= self._entries.pop(key)[1]
+        self._entries[key] = (value, charge)
+        self._used += charge
+        while self._used > self.capacity and len(self._entries) > 1:
+            _old_key, (_old_val, old_charge) = self._entries.popitem(last=False)
+            self._used -= old_charge
+
+    def evict(self, key: Hashable) -> None:
+        entry = self._entries.pop(key, None)
+        if entry is not None:
+            self._used -= entry[1]
+
+    def evict_prefix(self, prefix: tuple) -> None:
+        """Evict all keys that are tuples starting with ``prefix``."""
+        doomed = [k for k in self._entries
+                  if isinstance(k, tuple) and k[: len(prefix)] == prefix]
+        for key in doomed:
+            self.evict(key)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._used = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+def _default_charge(value: Any) -> int:
+    size = getattr(value, "size", None)
+    if size is not None:
+        return int(size)
+    try:
+        return len(value)
+    except TypeError:
+        return 1

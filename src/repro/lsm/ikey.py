@@ -1,0 +1,73 @@
+"""Internal keys.
+
+Like LevelDB, every entry the engine stores is keyed by an *internal
+key*: the user key plus a monotonically increasing sequence number and a
+value/deletion type tag.  Ordering is user key ascending, then sequence
+number **descending** (newest first), then type descending, so a scan
+positioned at ``(key, seq=snapshot)`` sees the newest visible version
+first.
+
+The serialized form appends an 8-byte little-endian trailer
+``(seq << 8) | type`` to the user key, again following LevelDB.
+Comparisons always happen on the decoded tuple -- byte order of the
+trailer is not meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CorruptionError
+from repro.util.varint import decode_fixed64, encode_fixed64
+
+TYPE_DELETION = 0
+TYPE_VALUE = 1
+
+#: the largest sequence number the trailer can carry
+MAX_SEQUENCE = (1 << 56) - 1
+
+
+@dataclass(frozen=True)
+class InternalKey:
+    """A decoded internal key."""
+
+    user_key: bytes
+    sequence: int
+    type: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.sequence <= MAX_SEQUENCE:
+            raise ValueError(f"sequence {self.sequence} out of range")
+        if self.type not in (TYPE_DELETION, TYPE_VALUE):
+            raise ValueError(f"bad type {self.type}")
+
+    def encode(self) -> bytes:
+        return self.user_key + encode_fixed64((self.sequence << 8) | self.type)
+
+    @property
+    def sort_key(self) -> tuple[bytes, int, int]:
+        """Tuple whose natural ordering is the internal-key ordering."""
+        return (self.user_key, -self.sequence, -self.type)
+
+    def __lt__(self, other: "InternalKey") -> bool:
+        return self.sort_key < other.sort_key
+
+    def __le__(self, other: "InternalKey") -> bool:
+        return self.sort_key <= other.sort_key
+
+
+def decode_internal_key(data: bytes) -> InternalKey:
+    """Parse the serialized ``user_key + trailer`` form."""
+    if len(data) < 8:
+        raise CorruptionError(f"internal key too short: {len(data)} bytes")
+    trailer = decode_fixed64(data, len(data) - 8)
+    return InternalKey(bytes(data[:-8]), trailer >> 8, trailer & 0xFF)
+
+
+def lookup_key(user_key: bytes, snapshot_sequence: int) -> InternalKey:
+    """The internal key a ``get`` at ``snapshot_sequence`` seeks to.
+
+    TYPE_VALUE is the largest type tag, so this key sorts before every
+    entry for ``user_key`` with sequence <= snapshot.
+    """
+    return InternalKey(user_key, snapshot_sequence, TYPE_VALUE)

@@ -1,0 +1,79 @@
+"""Merging iterators and the user-facing DB iterator.
+
+:func:`merge_iterators` performs a k-way merge of sources that each
+yield ``(InternalKey, value)`` in internal-key order -- the workhorse of
+both compactions and scans.
+
+:class:`DBIterator` layers MVCC visibility on a merged stream: entries
+newer than the snapshot are skipped, only the newest visible version of
+each user key is surfaced, and tombstones suppress the key entirely.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, Iterator
+
+from repro.lsm.ikey import InternalKey, TYPE_DELETION
+
+
+def merge_iterators(
+    sources: list[Iterator[tuple[InternalKey, bytes]]],
+) -> Iterator[tuple[InternalKey, bytes]]:
+    """K-way merge by internal-key order.
+
+    Internal keys are globally unique (unique sequence numbers), so no
+    tie-breaking between sources is ever required; the source index in
+    the heap entries only prevents Python from comparing values.
+    """
+    heap: list[tuple[tuple, int, InternalKey, bytes, Iterator]] = []
+    for idx, src in enumerate(sources):
+        for ikey, value in src:
+            heap.append((ikey.sort_key, idx, ikey, value, src))
+            break
+    heapq.heapify(heap)
+    while heap:
+        _sort_key, idx, ikey, value, src = heapq.heappop(heap)
+        yield ikey, value
+        for next_ikey, next_value in src:
+            heapq.heappush(heap, (next_ikey.sort_key, idx, next_ikey, next_value, src))
+            break
+
+
+class DBIterator:
+    """Iterates live ``(user_key, value)`` pairs visible at a snapshot."""
+
+    def __init__(self, merged: Iterator[tuple[InternalKey, bytes]],
+                 snapshot_sequence: int) -> None:
+        self._merged = merged
+        self._snapshot = snapshot_sequence
+
+    def __iter__(self) -> Iterator[tuple[bytes, bytes]]:
+        current_user_key: bytes | None = None
+        for ikey, value in self._merged:
+            if ikey.sequence > self._snapshot:
+                continue
+            if ikey.user_key == current_user_key:
+                continue  # an older version of a key already emitted/suppressed
+            current_user_key = ikey.user_key
+            if ikey.type == TYPE_DELETION:
+                continue
+            yield ikey.user_key, value
+
+
+def take_range(pairs: Iterable[tuple[bytes, bytes]], start: bytes | None,
+               end: bytes | None, limit: int | None = None
+               ) -> Iterator[tuple[bytes, bytes]]:
+    """Clip a sorted ``(key, value)`` stream to ``[start, end)`` and ``limit``."""
+    if limit is not None and limit <= 0:
+        return
+    count = 0
+    for key, value in pairs:
+        if start is not None and key < start:
+            continue
+        if end is not None and key >= end:
+            break
+        yield key, value
+        count += 1
+        if limit is not None and count >= limit:
+            break

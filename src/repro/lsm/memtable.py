@@ -1,0 +1,66 @@
+"""Memtable: the in-memory write buffer backed by a skiplist.
+
+Entries are keyed by the internal-key sort tuple
+``(user_key, -sequence, -type)`` so iteration yields LevelDB's internal
+ordering directly.  ``approximate_size`` tracks the payload bytes plus a
+small per-entry overhead, mirroring LevelDB's arena accounting, and is
+what the DB compares against ``Options.write_buffer_size``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.lsm.ikey import InternalKey, TYPE_DELETION, TYPE_VALUE
+from repro.lsm.skiplist import SkipList
+
+#: bookkeeping bytes charged per entry (trailer + node overhead stand-in)
+_ENTRY_OVERHEAD = 16
+
+
+class Memtable:
+    """Sorted in-memory buffer of the most recent writes."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._table = SkipList(seed=seed)
+        self._size = 0
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    @property
+    def approximate_size(self) -> int:
+        return self._size
+
+    def add(self, sequence: int, type_: int, user_key: bytes, value: bytes) -> None:
+        """Insert one entry (``value`` is ignored for deletions)."""
+        key = InternalKey(user_key, sequence, type_)
+        self._table.insert(key.sort_key, value if type_ == TYPE_VALUE else b"")
+        self._size += len(user_key) + len(value) + _ENTRY_OVERHEAD
+
+    def get(self, user_key: bytes, snapshot_sequence: int) -> tuple[bool, bytes | None]:
+        """Look up ``user_key`` at ``snapshot_sequence``.
+
+        Returns ``(found, value)``: ``(True, bytes)`` for a live value,
+        ``(True, None)`` for a tombstone, ``(False, None)`` when this
+        memtable holds nothing visible for the key.
+        """
+        seek_key = (user_key, -snapshot_sequence, -TYPE_VALUE)
+        for (ukey, neg_seq, neg_type), value in self._table.seek(seek_key):
+            if ukey != user_key:
+                break
+            # seek() already skipped entries newer than the snapshot
+            if -neg_type == TYPE_DELETION:
+                return True, None
+            return True, value
+        return False, None
+
+    def entries(self) -> Iterator[tuple[InternalKey, bytes]]:
+        """All entries in internal-key order (for flush and scans)."""
+        for (ukey, neg_seq, neg_type), value in self._table:
+            yield InternalKey(ukey, -neg_seq, -neg_type), value
+
+    def entries_from(self, seek: InternalKey) -> Iterator[tuple[InternalKey, bytes]]:
+        """Entries starting at the first internal key >= ``seek``."""
+        for (ukey, neg_seq, neg_type), value in self._table.seek(seek.sort_key):
+            yield InternalKey(ukey, -neg_seq, -neg_type), value

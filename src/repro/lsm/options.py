@@ -1,0 +1,112 @@
+"""Engine tunables.
+
+Every size knob that the paper fixes at hardware scale (4 MB SSTables,
+40 MB bands, 100 GB databases) is a field here so the scaled simulation
+profiles in :mod:`repro.harness.profiles` can dial everything down
+proportionally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+KiB = 1024
+MiB = 1024 * 1024
+
+
+@dataclass
+class Options:
+    """Configuration for :class:`repro.lsm.db.DB`.
+
+    The defaults describe a scaled-down LevelDB: a 64 KiB write buffer
+    and 64 KiB SSTables stand in for the paper's 4 MB, with every ratio
+    (amplification factor, L0 trigger, block size relative to table
+    size) preserved.
+    """
+
+    #: memtable budget; a flush is triggered when it is exceeded
+    write_buffer_size: int = 64 * KiB
+    #: target size of one SSTable
+    sstable_size: int = 64 * KiB
+    #: data-block payload size inside an SSTable
+    block_size: int = 4 * KiB
+    #: restart-point interval for prefix compression
+    block_restart_interval: int = 16
+    #: bloom-filter bits per key (0 disables the filter)
+    bloom_bits_per_key: int = 10
+    #: number of L0 files that triggers an L0 compaction
+    l0_compaction_trigger: int = 4
+    #: number of levels (LevelDB default 7; SMRDB uses 2)
+    max_levels: int = 7
+    #: byte limit of L1; level ``i`` allows ``base * af**(i-1)``
+    base_level_bytes: int = 4 * 64 * KiB
+    #: growth factor between adjacent levels (the paper's AF)
+    amplification_factor: int = 10
+    #: LRU block-cache capacity in bytes (0 disables caching)
+    block_cache_bytes: int = 2 * MiB
+    #: WAL framing block size (LevelDB uses 32 KiB)
+    wal_block_size: int = 32 * KiB
+    #: blocks fetched per device read while *iterating* a table (models
+    #: OS readahead; point lookups always read single blocks)
+    readahead_blocks: int = 8
+    #: readahead block budget *shared* by all input streams of one
+    #: non-prefetching compaction: a k-way merge gets ~budget/k blocks
+    #: of runway per source, so many-input merges (SMRDB's giant
+    #: compactions) degrade towards block-granular seeking, as observed
+    #: on real systems when readahead thrashes
+    compaction_readahead_budget: int = 24
+    #: CPU cost of merging/checksumming one byte during flushes and
+    #: compactions (seconds/byte).  Profiles scale this with io_scale so
+    #: the simulated CPU:disk ratio matches hardware scale; 0 disables.
+    compaction_cpu_per_byte: float = 0.0
+    #: fixed CPU cost of one read operation (memtable probe, binary
+    #: searches, cache lookups); keeps all-cache-hit workloads from
+    #: reporting infinite throughput
+    read_cpu_seconds: float = 2e-5
+
+    # -- set-awareness (the paper's contribution) ------------------------
+
+    #: group compaction outputs into sets and write them contiguously
+    use_sets: bool = False
+    #: prefetch whole input tables sequentially during compactions
+    #: (None => follow ``use_sets``)
+    prefetch_compaction_inputs: bool | None = None
+    #: "pointer" = LevelDB round-robin; "invalid-set-first" = prefer the
+    #: victim whose on-disk set has the most invalidated members
+    victim_policy: str = "pointer"
+
+    #: "leveled" = LevelDB's structure; "two-tier" = SMRDB's 2-level
+    #: design where the last level permits overlapping key ranges
+    style: str = "leveled"
+    #: two-tier only: number of last-level tables that triggers a full
+    #: last-level merge (SMRDB's rare, enormous compactions)
+    tier_merge_trigger: int = 8
+
+    #: deterministic seed for the skiplist's level generator
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_levels < 2:
+            raise ValueError("need at least 2 levels (L0 and one sorted level)")
+        if self.victim_policy not in ("pointer", "invalid-set-first"):
+            raise ValueError(f"unknown victim policy {self.victim_policy!r}")
+        if self.style not in ("leveled", "two-tier"):
+            raise ValueError(f"unknown compaction style {self.style!r}")
+        if self.style == "two-tier" and self.max_levels != 2:
+            raise ValueError("two-tier style requires exactly 2 levels")
+        if self.tier_merge_trigger < 2:
+            raise ValueError("tier merge trigger must be >= 2")
+        if self.amplification_factor < 2:
+            raise ValueError("amplification factor must be >= 2")
+
+    @property
+    def do_prefetch(self) -> bool:
+        if self.prefetch_compaction_inputs is None:
+            return self.use_sets
+        return self.prefetch_compaction_inputs
+
+    def level_bytes_limit(self, level: int) -> float:
+        """Maximum total bytes allowed at ``level`` (L1 and deeper)."""
+        if level < 1:
+            raise ValueError("L0 is limited by file count, not bytes")
+        return self.base_level_bytes * self.amplification_factor ** (level - 1)

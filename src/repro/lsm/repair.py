@@ -1,0 +1,125 @@
+"""Database repair: rebuild the manifest from surviving table files.
+
+``leveldbutil repair`` for the simulated store: when the manifest log
+is lost or corrupt, the table files still carry everything needed to
+serve reads.  The repairer scans the storage for ``*.sst`` objects,
+reads each one's key range and entry count, and constructs a fresh
+version with **every table in level 0** -- L0 permits overlapping key
+ranges, so this placement is always correct; it is merely uncompacted.
+Sequence numbers inside the tables are preserved, so newest-version-wins
+semantics survive.  The next compactions re-form the leveled shape.
+
+The WAL, if readable, is replayed on top as usual by ``DB.recover``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+from repro.fs.storage import Storage
+from repro.lsm.db import DB
+from repro.lsm.options import Options
+from repro.lsm.sstable import SSTableReader
+from repro.lsm.version import FileMetaData, VersionEdit, VersionSet
+from repro.smr.stats import AmplificationTracker
+
+
+@dataclass
+class RepairReport:
+    """What the repairer found and rebuilt."""
+
+    tables_recovered: int = 0
+    tables_dropped: int = 0
+    entries_recovered: int = 0
+    dropped: list[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        lines = [f"repair: {self.tables_recovered} tables recovered "
+                 f"({self.entries_recovered:,} entries), "
+                 f"{self.tables_dropped} dropped"]
+        lines += [f"  - dropped {name}" for name in self.dropped]
+        return "\n".join(lines)
+
+
+def repair(storage: Storage, options: Options | None = None,
+           tracker: AmplificationTracker | None = None
+           ) -> tuple[DB, RepairReport]:
+    """Rebuild a usable DB from whatever tables survive on ``storage``.
+
+    Unreadable tables are dropped (their data is lost, reported).  The
+    rebuilt manifest replaces the old meta log; the WAL is replayed if
+    intact, discarded if not.
+    """
+    options = options if options is not None else Options()
+    report = RepairReport()
+    recovered: list[FileMetaData] = []
+    max_number = 0
+    max_sequence = 0
+
+    for name in sorted(storage.list_files()):
+        if not name.endswith(".sst"):
+            continue
+        try:
+            number = int(name.split(".")[0])
+        except ValueError:
+            report.dropped.append(name)
+            report.tables_dropped += 1
+            continue
+        try:
+            meta, entries, top_seq = _inspect_table(storage, name, number)
+        except ReproError:
+            report.dropped.append(name)
+            report.tables_dropped += 1
+            storage.delete_file(name)
+            continue
+        recovered.append(meta)
+        report.tables_recovered += 1
+        report.entries_recovered += entries
+        max_number = max(max_number, number)
+        max_sequence = max(max_sequence, top_seq)
+
+    versions = VersionSet(options.max_levels,
+                          tiered=options.style == "two-tier")
+    edit = VersionEdit()
+    for meta in recovered:
+        edit.add_file(0, meta)
+    versions.log_and_apply(edit)
+    versions.next_file_number = max_number + 1
+    versions.last_sequence = max_sequence
+
+    # replace the meta log with a fresh snapshot of the rebuilt state
+    storage.reset_meta()
+    storage.append_meta_record(Storage.META_SNAPSHOT, versions.serialize())
+
+    # WAL: replay if parseable, else discard
+    try:
+        db = DB.recover(storage, options, tracker)
+    except ReproError:
+        storage.reset_log()
+        db = DB.recover(storage, options, tracker)
+    return db, report
+
+
+def _inspect_table(storage: Storage, name: str,
+                   number: int) -> tuple[FileMetaData, int, int]:
+    """Read one table end to end; returns (meta, entries, max sequence)."""
+    size = storage.file_size(name)
+    reader = SSTableReader(storage, name, size)
+    smallest = largest = None
+    count = 0
+    top_seq = 0
+    previous = None
+    for ikey, _value in reader:
+        if previous is not None and not previous < ikey:
+            raise ReproError(f"{name}: keys out of order")
+        previous = ikey
+        if smallest is None:
+            smallest = ikey
+        largest = ikey
+        top_seq = max(top_seq, ikey.sequence)
+        count += 1
+    if smallest is None or largest is None:
+        raise ReproError(f"{name}: empty table")
+    meta = FileMetaData(number, size, smallest, largest, count, run=number)
+    return meta, count, top_seq

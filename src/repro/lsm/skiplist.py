@@ -1,0 +1,113 @@
+"""A probabilistic skiplist, the memtable's ordered index.
+
+Keys are arbitrary comparable Python objects (the memtable stores
+internal-key sort tuples).  Insertion and search are ``O(log n)``
+expected; iteration is in key order.  Duplicate keys are rejected --
+the memtable never produces them because every entry carries a unique
+sequence number.
+
+The level generator is seeded so a run is exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Iterator
+
+from repro.errors import InvariantViolation
+
+_MAX_HEIGHT = 12
+_BRANCHING = 4
+
+
+class _Node:
+    __slots__ = ("key", "value", "next")
+
+    def __init__(self, key: Any, value: Any, height: int) -> None:
+        self.key = key
+        self.value = value
+        self.next: list[_Node | None] = [None] * height
+
+
+class SkipList:
+    """Sorted map with ``O(log n)`` expected insert and lookup."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._head = _Node(None, None, _MAX_HEIGHT)
+        self._height = 1
+        self._rng = random.Random(seed)
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def _random_height(self) -> int:
+        height = 1
+        while height < _MAX_HEIGHT and self._rng.randrange(_BRANCHING) == 0:
+            height += 1
+        return height
+
+    def _find_greater_or_equal(self, key: Any,
+                               prev: list[_Node] | None = None) -> _Node | None:
+        node = self._head
+        level = self._height - 1
+        while True:
+            nxt = node.next[level]
+            if nxt is not None and nxt.key < key:
+                node = nxt
+            else:
+                if prev is not None:
+                    prev[level] = node
+                if level == 0:
+                    return nxt
+                level -= 1
+
+    def insert(self, key: Any, value: Any) -> None:
+        """Insert ``key`` -> ``value``; raises on duplicate keys."""
+        prev: list[_Node] = [self._head] * _MAX_HEIGHT
+        node = self._find_greater_or_equal(key, prev)
+        if node is not None and node.key == key:
+            raise InvariantViolation(f"duplicate skiplist key {key!r}")
+        height = self._random_height()
+        if height > self._height:
+            for level in range(self._height, height):
+                prev[level] = self._head
+            self._height = height
+        new = _Node(key, value, height)
+        for level in range(height):
+            new.next[level] = prev[level].next[level]
+            prev[level].next[level] = new
+        self._size += 1
+
+    def get(self, key: Any) -> Any:
+        """Value for ``key``, or ``None`` when absent."""
+        node = self._find_greater_or_equal(key)
+        if node is not None and node.key == key:
+            return node.value
+        return None
+
+    def seek(self, key: Any) -> Iterator[tuple[Any, Any]]:
+        """Iterate ``(key, value)`` pairs starting at the first key >= ``key``."""
+        node = self._find_greater_or_equal(key)
+        while node is not None:
+            yield node.key, node.value
+            node = node.next[0]
+
+    def __iter__(self) -> Iterator[tuple[Any, Any]]:
+        node = self._head.next[0]
+        while node is not None:
+            yield node.key, node.value
+            node = node.next[0]
+
+    def check_invariants(self) -> None:
+        """Verify ordering on every level (test hook)."""
+        for level in range(self._height):
+            node = self._head.next[level]
+            prev_key = None
+            while node is not None:
+                if prev_key is not None and not prev_key < node.key:
+                    raise InvariantViolation(
+                        f"level {level} out of order: {prev_key!r} !< {node.key!r}"
+                    )
+                prev_key = node.key
+                node = node.next[level]

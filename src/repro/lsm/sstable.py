@@ -1,0 +1,285 @@
+"""SSTable builder and reader.
+
+File layout (all offsets within the file)::
+
+    [data block 0] ... [data block N-1]
+    [filter block]                      bloom filter over user keys
+    [index block]                       last key of each data block -> handle
+    [footer: 40 bytes]                  fixed64 x 4 handles + fixed64 magic
+
+Data and index blocks use :mod:`repro.lsm.block`.  Readers fetch blocks
+through the :class:`~repro.fs.storage.Storage` abstraction, so every
+block read is a (timed) device I/O unless it hits the block cache or
+the whole file has been prefetched -- the mechanism behind the paper's
+compaction-efficiency argument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import CorruptionError
+from repro.lsm.block import Block, BlockBuilder, BlockHandle
+from repro.lsm.bloom import BloomFilter
+from repro.lsm.cache import LRUCache
+from repro.lsm.ikey import InternalKey, TYPE_DELETION, lookup_key
+from repro.lsm.options import Options
+from repro.util.varint import decode_fixed64, encode_fixed64
+
+FOOTER_SIZE = 40
+_MAGIC = 0x5EA1DB0F00DBF00D
+
+
+@dataclass
+class TableProperties:
+    """Facts about a finished table, recorded in the manifest."""
+
+    num_entries: int
+    smallest: InternalKey
+    largest: InternalKey
+    file_size: int
+
+
+class SSTableBuilder:
+    """Serializes sorted entries into the table format."""
+
+    def __init__(self, options: Options) -> None:
+        self._options = options
+        self._buf = bytearray()
+        self._drained = 0
+        self._block = BlockBuilder(options.block_restart_interval)
+        self._index_entries: list[tuple[bytes, BlockHandle]] = []
+        self._user_keys: list[bytes] = []
+        self._num_entries = 0
+        self._smallest: InternalKey | None = None
+        self._largest: InternalKey | None = None
+        self._last_key: InternalKey | None = None
+
+    @property
+    def num_entries(self) -> int:
+        return self._num_entries
+
+    def estimated_size(self) -> int:
+        return len(self._buf) + self._block.size_estimate()
+
+    @property
+    def pending_bytes(self) -> int:
+        """Completed bytes not yet handed out by :meth:`drain`."""
+        return len(self._buf) - self._drained
+
+    def drain(self) -> bytes:
+        """Take the completed-but-undrained bytes (streaming output).
+
+        A compaction that streams its output file calls ``drain`` as
+        blocks complete and appends the pieces to a file stream; the
+        device then sees writes interleaved with the merge's reads, as
+        on a real drive.  Callers that never drain get the whole file
+        from :meth:`finish`.
+        """
+        out = bytes(self._buf[self._drained:])
+        self._drained = len(self._buf)
+        return out
+
+    def add(self, ikey: InternalKey, value: bytes) -> None:
+        if self._last_key is not None and not self._last_key < ikey:
+            raise CorruptionError(
+                f"keys added out of order: {self._last_key} then {ikey}"
+            )
+        self._last_key = ikey
+        if self._smallest is None:
+            self._smallest = ikey
+        self._largest = ikey
+        encoded = ikey.encode()
+        self._block.add(encoded, value)
+        self._user_keys.append(ikey.user_key)
+        self._num_entries += 1
+        if self._block.size_estimate() >= self._options.block_size:
+            self._flush_block(encoded)
+
+    def _flush_block(self, last_encoded_key: bytes) -> None:
+        data = self._block.finish()
+        handle = BlockHandle(len(self._buf), len(data))
+        self._buf += data
+        self._index_entries.append((last_encoded_key, handle))
+        self._block = BlockBuilder(self._options.block_restart_interval)
+
+    def finish(self) -> tuple[bytes, TableProperties]:
+        """Complete the table; returns ``(remaining_bytes, properties)``.
+
+        Without prior :meth:`drain` calls the returned bytes are the
+        whole file; with streaming, they are the tail (last block,
+        filter, index, footer) and ``properties.file_size`` is still the
+        total size.
+        """
+        if self._num_entries == 0:
+            raise CorruptionError("cannot finish an empty SSTable")
+        if not self._block.empty:
+            assert self._last_key is not None
+            self._flush_block(self._last_key.encode())
+
+        if self._options.bloom_bits_per_key > 0:
+            bloom = BloomFilter.build(self._user_keys,
+                                      self._options.bloom_bits_per_key)
+            filter_data = bloom.encode()
+        else:
+            filter_data = b""
+        filter_handle = BlockHandle(len(self._buf), len(filter_data))
+        self._buf += filter_data
+
+        index = BlockBuilder(restart_interval=1)
+        for key, handle in self._index_entries:
+            index.add(key, handle.encode())
+        index_data = index.finish()
+        index_handle = BlockHandle(len(self._buf), len(index_data))
+        self._buf += index_data
+
+        self._buf += encode_fixed64(index_handle.offset)
+        self._buf += encode_fixed64(index_handle.size)
+        self._buf += encode_fixed64(filter_handle.offset)
+        self._buf += encode_fixed64(filter_handle.size)
+        self._buf += encode_fixed64(_MAGIC)
+
+        assert self._smallest is not None and self._largest is not None
+        props = TableProperties(self._num_entries, self._smallest,
+                                self._largest, len(self._buf))
+        return self.drain(), props
+
+
+class SSTableReader:
+    """Random and sequential access to one table file.
+
+    The index and filter are loaded eagerly (two reads) and kept in
+    memory, as a table cache would.  Data blocks are read on demand
+    through the shared block cache; :meth:`prefetch` instead pulls the
+    whole file with a single sequential read -- SEALDB's set-oriented
+    compaction path.
+    """
+
+    def __init__(self, storage, name: str, file_size: int,
+                 block_cache: LRUCache | None = None,
+                 readahead_blocks: int = 1) -> None:
+        self._storage = storage
+        self.name = name
+        self.file_size = file_size
+        self._cache = block_cache
+        self._buffer: bytes | None = None
+        self._readahead_blocks = max(1, readahead_blocks)
+
+        footer = storage.read_file(name, file_size - FOOTER_SIZE, FOOTER_SIZE)
+        if decode_fixed64(footer, 32) != _MAGIC:
+            raise CorruptionError(f"bad magic in table {name!r}")
+        index_handle = BlockHandle(decode_fixed64(footer, 0), decode_fixed64(footer, 8))
+        filter_handle = BlockHandle(decode_fixed64(footer, 16), decode_fixed64(footer, 24))
+
+        index_block = Block(storage.read_file(name, index_handle.offset,
+                                              index_handle.size))
+        self._index: list[tuple[InternalKey, BlockHandle]] = []
+        for ikey, value in index_block:
+            handle, _pos = BlockHandle.decode(value)
+            self._index.append((ikey, handle))
+
+        self._bloom: BloomFilter | None = None
+        if filter_handle.size > 0:
+            self._bloom = BloomFilter.decode(
+                storage.read_file(name, filter_handle.offset, filter_handle.size)
+            )
+
+    def prefetch(self) -> None:
+        """Read the entire file sequentially; later block reads are free."""
+        if self._buffer is None:
+            self._buffer = self._storage.read_file(self.name, 0, self.file_size)
+
+    def release(self) -> None:
+        """Drop the prefetched buffer."""
+        self._buffer = None
+
+    def _read_block(self, handle: BlockHandle) -> Block:
+        if self._buffer is not None:
+            return Block(self._buffer[handle.offset : handle.offset + handle.size])
+        if self._cache is not None:
+            key = (self.name, handle.offset)
+            block = self._cache.get(key)
+            if block is not None:
+                return block
+        data = self._storage.read_file(self.name, handle.offset, handle.size)
+        block = Block(data)
+        if self._cache is not None:
+            self._cache.put((self.name, handle.offset), block)
+        return block
+
+    def _find_block_index(self, target: InternalKey) -> int:
+        """First block whose largest key is >= ``target`` (len == miss)."""
+        target_sort = target.sort_key
+        lo, hi = 0, len(self._index)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._index[mid][0].sort_key < target_sort:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    def get(self, user_key: bytes, snapshot_sequence: int) -> tuple[bool, bytes | None]:
+        """Point lookup; same contract as :meth:`Memtable.get`."""
+        if self._bloom is not None and not self._bloom.may_contain(user_key):
+            return False, None
+        target = lookup_key(user_key, snapshot_sequence)
+        index = self._find_block_index(target)
+        if index == len(self._index):
+            return False, None
+        block = self._read_block(self._index[index][1])
+        for ikey, value in block.seek(target):
+            if ikey.user_key != user_key:
+                break
+            if ikey.type == TYPE_DELETION:
+                return True, None
+            return True, value
+        return False, None
+
+    def __iter__(self) -> Iterator[tuple[InternalKey, bytes]]:
+        yield from self._iterate_blocks(0, None)
+
+    def iterate(self, readahead_blocks: int | None = None
+                ) -> Iterator[tuple[InternalKey, bytes]]:
+        """Full iteration with an explicit readahead override."""
+        yield from self._iterate_blocks(0, None, readahead_blocks)
+
+    def iterate_from(self, target: InternalKey,
+                     readahead_blocks: int | None = None
+                     ) -> Iterator[tuple[InternalKey, bytes]]:
+        """Entries with internal key >= ``target``."""
+        start = self._find_block_index(target)
+        yield from self._iterate_blocks(start, target, readahead_blocks)
+
+    def _iterate_blocks(self, start_index: int, target: InternalKey | None,
+                        readahead_blocks: int | None = None
+                        ) -> Iterator[tuple[InternalKey, bytes]]:
+        """Stream blocks with readahead: consecutive blocks are fetched
+        in chunks of ``readahead_blocks`` with one device read each,
+        modelling OS readahead during sequential iteration."""
+        readahead = (self._readahead_blocks if readahead_blocks is None
+                     else max(1, readahead_blocks))
+        index = start_index
+        while index < len(self._index):
+            chunk_end = min(index + readahead, len(self._index))
+            blocks = self._read_block_range(index, chunk_end)
+            for offset, block in enumerate(blocks):
+                if target is not None and index + offset == start_index:
+                    yield from block.seek(target)
+                else:
+                    yield from block
+            index = chunk_end
+
+    def _read_block_range(self, start_index: int, end_index: int) -> list[Block]:
+        handles = [handle for _key, handle in self._index[start_index:end_index]]
+        if len(handles) == 1:
+            return [self._read_block(handles[0])]
+        first = handles[0].offset
+        last = handles[-1].offset + handles[-1].size
+        if self._buffer is not None:
+            data = self._buffer[first:last]
+        else:
+            data = self._storage.read_file(self.name, first, last - first)
+        return [Block(data[h.offset - first : h.offset - first + h.size])
+                for h in handles]

@@ -1,0 +1,329 @@
+"""Level metadata: file manifests, versions, and the version set.
+
+A :class:`Version` is an immutable snapshot of which table files live at
+which level.  Applying a :class:`VersionEdit` (files added and removed
+by a flush or compaction) produces the next version.  The
+:class:`VersionSet` owns the current version, the file-number and
+sequence counters, and the per-level compaction pointers, and it can
+serialize the whole state into a manifest blob for crash recovery.
+
+Invariants (checked by ``Version.check_invariants``):
+
+* within L1+ files are sorted by smallest key and their user-key ranges
+  are disjoint (unless the engine runs with ``overlap allowed`` levels,
+  which only SMRDB's 2-level mode uses for L0);
+* a file number appears at exactly one level.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass, field
+
+from repro.errors import CorruptionError, InvariantViolation
+from repro.lsm.ikey import InternalKey, decode_internal_key
+from repro.util.varint import (
+    decode_fixed32,
+    decode_fixed64,
+    encode_fixed32,
+    encode_fixed64,
+    get_length_prefixed,
+    put_length_prefixed,
+)
+
+
+@dataclass(frozen=True)
+class FileMetaData:
+    """Manifest entry for one table file.
+
+    ``run`` groups the outputs of one compaction into a sorted run;
+    tiered levels count distinct runs (not tables) for their merge
+    trigger and treat each run as one overlapping unit.
+    """
+
+    number: int
+    size: int
+    smallest: InternalKey
+    largest: InternalKey
+    entries: int = 0
+    run: int = 0
+
+    @property
+    def name(self) -> str:
+        return f"{self.number:06d}.sst"
+
+    def overlaps_user_range(self, begin: bytes | None, end: bytes | None) -> bool:
+        """Whether the file's user-key range intersects ``[begin, end]``.
+
+        ``None`` bounds are infinite.
+        """
+        if begin is not None and self.largest.user_key < begin:
+            return False
+        if end is not None and self.smallest.user_key > end:
+            return False
+        return True
+
+
+@dataclass
+class VersionEdit:
+    """Files added and deleted by one flush or compaction.
+
+    Edits also carry the counters they advanced, so replaying the
+    manifest log restores the version set exactly (LevelDB's manifest
+    records do the same).
+    """
+
+    added: list[tuple[int, FileMetaData]] = field(default_factory=list)
+    deleted: list[tuple[int, int]] = field(default_factory=list)  # (level, number)
+    next_file_number: int | None = None
+    last_sequence: int | None = None
+
+    def add_file(self, level: int, meta: FileMetaData) -> None:
+        self.added.append((level, meta))
+
+    def delete_file(self, level: int, number: int) -> None:
+        self.deleted.append((level, number))
+
+    def serialize(self) -> bytes:
+        out = bytearray()
+        out += encode_fixed64(self.next_file_number or 0)
+        out += encode_fixed64(self.last_sequence or 0)
+        out += encode_fixed32(len(self.added))
+        for level, meta in self.added:
+            out += encode_fixed32(level)
+            out += encode_fixed64(meta.number)
+            out += encode_fixed64(meta.size)
+            out += encode_fixed64(meta.entries)
+            out += encode_fixed64(meta.run)
+            put_length_prefixed(out, meta.smallest.encode())
+            put_length_prefixed(out, meta.largest.encode())
+        out += encode_fixed32(len(self.deleted))
+        for level, number in self.deleted:
+            out += encode_fixed32(level)
+            out += encode_fixed64(number)
+        return bytes(out)
+
+    @classmethod
+    def deserialize(cls, data: bytes) -> "VersionEdit":
+        if len(data) < 20:
+            raise CorruptionError("version edit too short")
+        edit = cls()
+        nfn = decode_fixed64(data, 0)
+        seq = decode_fixed64(data, 8)
+        edit.next_file_number = nfn or None
+        edit.last_sequence = seq or None
+        num_added = decode_fixed32(data, 16)
+        pos = 20
+        for _ in range(num_added):
+            level = decode_fixed32(data, pos)
+            number = decode_fixed64(data, pos + 4)
+            size = decode_fixed64(data, pos + 12)
+            entries = decode_fixed64(data, pos + 20)
+            run = decode_fixed64(data, pos + 28)
+            pos += 36
+            smallest_raw, pos = get_length_prefixed(data, pos)
+            largest_raw, pos = get_length_prefixed(data, pos)
+            edit.add_file(level, FileMetaData(
+                number, size,
+                decode_internal_key(smallest_raw),
+                decode_internal_key(largest_raw),
+                entries, run,
+            ))
+        num_deleted = decode_fixed32(data, pos)
+        pos += 4
+        for _ in range(num_deleted):
+            level = decode_fixed32(data, pos)
+            number = decode_fixed64(data, pos + 4)
+            pos += 12
+            edit.delete_file(level, number)
+        return edit
+
+
+class Version:
+    """Immutable per-level file lists.
+
+    ``tiered`` marks a two-level store whose last level permits
+    overlapping key ranges (SMRDB's design); that level is then scanned
+    like L0 -- newest file first -- instead of binary-searched.
+    """
+
+    def __init__(self, num_levels: int,
+                 files: list[list[FileMetaData]] | None = None,
+                 tiered: bool = False) -> None:
+        self.num_levels = num_levels
+        self.tiered = tiered
+        if files is None:
+            files = [[] for _ in range(num_levels)]
+        self.files = files
+
+    def level_is_tiered(self, level: int) -> bool:
+        return level == 0 or (self.tiered and level == self.num_levels - 1)
+
+    def level_files(self, level: int) -> list[FileMetaData]:
+        return self.files[level]
+
+    def level_bytes(self, level: int) -> int:
+        return sum(f.size for f in self.files[level])
+
+    def num_files(self) -> int:
+        return sum(len(level) for level in self.files)
+
+    def total_bytes(self) -> int:
+        return sum(self.level_bytes(level) for level in range(self.num_levels))
+
+    def overlapping_files(self, level: int, begin: bytes | None,
+                          end: bytes | None) -> list[FileMetaData]:
+        """Files at ``level`` whose user-key range intersects ``[begin, end]``.
+
+        L0 files may overlap each other so they are scanned linearly;
+        sorted levels use binary search on the smallest keys.
+        """
+        files = self.files[level]
+        if self.level_is_tiered(level):
+            return [f for f in files if f.overlaps_user_range(begin, end)]
+        if not files:
+            return []
+        smallests = [f.smallest.user_key for f in files]
+        lo = 0
+        if begin is not None:
+            # First file whose largest >= begin; since ranges are sorted
+            # and disjoint, start from the file before the insertion
+            # point of `begin` among the smallest keys.
+            lo = bisect_right(smallests, begin) - 1
+            if lo < 0:
+                lo = 0
+        hi = len(files)
+        if end is not None:
+            hi = bisect_right(smallests, end)
+        return [f for f in files[lo:hi] if f.overlaps_user_range(begin, end)]
+
+    def files_for_get(self, user_key: bytes) -> list[tuple[int, FileMetaData]]:
+        """Files that might hold ``user_key``, in lookup order.
+
+        L0 newest-first (by file number), then one candidate per deeper
+        level.
+        """
+        out: list[tuple[int, FileMetaData]] = []
+        for level in range(self.num_levels):
+            hits = self.overlapping_files(level, user_key, user_key)
+            if self.level_is_tiered(level):
+                hits = sorted(hits, key=lambda f: f.number, reverse=True)
+            out.extend((level, f) for f in hits)
+        return out
+
+    def apply(self, edit: VersionEdit) -> "Version":
+        """Produce the successor version."""
+        doomed = {(level, number) for level, number in edit.deleted}
+        new_files: list[list[FileMetaData]] = []
+        for level in range(self.num_levels):
+            keep = [f for f in self.files[level] if (level, f.number) not in doomed]
+            new_files.append(keep)
+        for level, meta in edit.added:
+            new_files[level].append(meta)
+        for level in range(self.num_levels):
+            if self.level_is_tiered(level):
+                new_files[level].sort(key=lambda f: f.number)
+            else:
+                new_files[level].sort(key=lambda f: f.smallest.sort_key)
+        return Version(self.num_levels, new_files, self.tiered)
+
+    def check_invariants(self, allow_overlap: bool = False) -> None:
+        seen: set[int] = set()
+        for level in range(self.num_levels):
+            for f in self.files[level]:
+                if f.number in seen:
+                    raise InvariantViolation(f"file {f.number} at two levels")
+                seen.add(f.number)
+                if f.largest.sort_key < f.smallest.sort_key:
+                    raise InvariantViolation(f"file {f.number} key range inverted")
+        if allow_overlap:
+            return
+        for level in range(1, self.num_levels):
+            if self.level_is_tiered(level):
+                continue
+            prev: FileMetaData | None = None
+            for f in self.files[level]:
+                if prev is not None and f.smallest.user_key <= prev.largest.user_key:
+                    raise InvariantViolation(
+                        f"L{level} files {prev.number} and {f.number} overlap"
+                    )
+                prev = f
+
+
+class VersionSet:
+    """Owns the current version and the counters behind it."""
+
+    def __init__(self, num_levels: int, tiered: bool = False) -> None:
+        self.num_levels = num_levels
+        self.tiered = tiered
+        self.current = Version(num_levels, tiered=tiered)
+        self.next_file_number = 1
+        self.last_sequence = 0
+        #: per-level largest-key pointer for round-robin victim choice
+        self.compact_pointer: list[bytes | None] = [None] * num_levels
+
+    def new_file_number(self) -> int:
+        number = self.next_file_number
+        self.next_file_number += 1
+        return number
+
+    def log_and_apply(self, edit: VersionEdit) -> Version:
+        self.current = self.current.apply(edit)
+        return self.current
+
+    # -- manifest serialization -----------------------------------------
+
+    def serialize(self) -> bytes:
+        out = bytearray()
+        out += encode_fixed64(self.next_file_number)
+        out += encode_fixed64(self.last_sequence)
+        out += encode_fixed32(self.num_levels)
+        for level in range(self.num_levels):
+            pointer = self.compact_pointer[level]
+            put_length_prefixed(out, pointer if pointer is not None else b"")
+            files = self.current.files[level]
+            out += encode_fixed32(len(files))
+            for f in files:
+                out += encode_fixed64(f.number)
+                out += encode_fixed64(f.size)
+                out += encode_fixed64(f.entries)
+                out += encode_fixed64(f.run)
+                put_length_prefixed(out, f.smallest.encode())
+                put_length_prefixed(out, f.largest.encode())
+        return bytes(out)
+
+    @classmethod
+    def deserialize(cls, data: bytes, tiered: bool = False) -> "VersionSet":
+        if len(data) < 20:
+            raise CorruptionError("manifest too short")
+        next_file = decode_fixed64(data, 0)
+        last_seq = decode_fixed64(data, 8)
+        num_levels = decode_fixed32(data, 16)
+        vs = cls(num_levels, tiered=tiered)
+        vs.next_file_number = next_file
+        vs.last_sequence = last_seq
+        pos = 20
+        files: list[list[FileMetaData]] = []
+        for level in range(num_levels):
+            pointer, pos = get_length_prefixed(data, pos)
+            vs.compact_pointer[level] = pointer if pointer else None
+            count = decode_fixed32(data, pos)
+            pos += 4
+            level_files = []
+            for _ in range(count):
+                number = decode_fixed64(data, pos)
+                size = decode_fixed64(data, pos + 8)
+                entries = decode_fixed64(data, pos + 16)
+                run = decode_fixed64(data, pos + 24)
+                pos += 32
+                smallest_raw, pos = get_length_prefixed(data, pos)
+                largest_raw, pos = get_length_prefixed(data, pos)
+                level_files.append(FileMetaData(
+                    number, size,
+                    decode_internal_key(smallest_raw),
+                    decode_internal_key(largest_raw),
+                    entries, run,
+                ))
+            files.append(level_files)
+        vs.current = Version(num_levels, files, tiered)
+        return vs

@@ -1,0 +1,54 @@
+"""Simulated-drive substrate.
+
+This package models the storage devices the paper evaluates on:
+
+* :class:`~repro.smr.drive.ConventionalDrive` -- an ordinary HDD
+  (Seagate ST1000DM003 in the paper), used for the Fig. 2 motivation
+  experiment.
+* :class:`~repro.smr.fixed_band.FixedBandSMRDrive` -- a conventional
+  fixed-band SMR emulation where writing below a band's write frontier
+  forces a read-modify-write of the whole band.  This is the device the
+  LevelDB and SMRDB baselines run on and the source of *auxiliary write
+  amplification* (AWA).
+* :class:`~repro.smr.raw_hmsmr.RawHMSMRDrive` -- a raw, Caveat-Scriptor
+  style host-managed SMR drive: writes may land anywhere provided the
+  shingle "damage zone" following the write holds no valid data.
+  SEALDB's dynamic-band manager runs on this device.
+
+All drives share a positional :class:`~repro.smr.timing.DiskTimingModel`
+driven by a simulated clock, so reported latencies and throughputs are
+deterministic and host-independent.
+"""
+
+from repro.smr.timing import DiskTimingModel, DriveProfile, SimClock, HDD_PROFILE, SMR_PROFILE
+from repro.smr.stats import AmplificationTracker, DriveStats, IORecord
+from repro.smr.extent import Extent, ExtentMap
+from repro.smr.geometry import TrackGeometry
+from repro.smr.drive import ConventionalDrive, Drive
+from repro.smr.fixed_band import FixedBandSMRDrive
+from repro.smr.raw_hmsmr import RawHMSMRDrive
+from repro.smr.drive_managed import DriveManagedSMRDrive
+from repro.smr.partition import DrivePartition, partition_drive
+from repro.smr.zoned import ZonedDrive
+
+__all__ = [
+    "AmplificationTracker",
+    "ConventionalDrive",
+    "DiskTimingModel",
+    "Drive",
+    "DriveManagedSMRDrive",
+    "DrivePartition",
+    "ZonedDrive",
+    "partition_drive",
+    "DriveProfile",
+    "DriveStats",
+    "Extent",
+    "ExtentMap",
+    "FixedBandSMRDrive",
+    "HDD_PROFILE",
+    "IORecord",
+    "RawHMSMRDrive",
+    "SMR_PROFILE",
+    "SimClock",
+    "TrackGeometry",
+]

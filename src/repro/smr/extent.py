@@ -1,0 +1,170 @@
+"""Byte-range (extent) bookkeeping.
+
+:class:`ExtentMap` maintains a set of disjoint half-open intervals
+``[start, end)`` over the drive's address space.  It is used by the raw
+HM-SMR drive to track which bytes currently hold valid data (the
+damage-zone safety check), and by the dynamic-band manager and the
+experiment harness to reason about on-disk layout.
+
+The implementation keeps two parallel sorted lists of starts and ends and
+uses :mod:`bisect`, giving ``O(log n)`` queries and ``O(n)`` worst-case
+mutation -- ample for the tens of thousands of extents a simulation
+produces.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import InvariantViolation
+
+
+@dataclass(frozen=True, order=True)
+class Extent:
+    """A half-open byte range ``[start, end)``."""
+
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise InvariantViolation(f"extent end {self.end} < start {self.start}")
+
+    @property
+    def length(self) -> int:
+        return self.end - self.start
+
+    def overlaps(self, start: int, end: int) -> bool:
+        return self.start < end and start < self.end
+
+    def contains(self, start: int, end: int) -> bool:
+        return self.start <= start and end <= self.end
+
+
+class ExtentMap:
+    """A set of disjoint extents with merge-on-insert semantics."""
+
+    def __init__(self) -> None:
+        self._starts: list[int] = []
+        self._ends: list[int] = []
+
+    def __len__(self) -> int:
+        return len(self._starts)
+
+    def __iter__(self) -> Iterator[Extent]:
+        for s, e in zip(self._starts, self._ends):
+            yield Extent(s, e)
+
+    def __repr__(self) -> str:
+        ranges = ", ".join(f"[{s},{e})" for s, e in zip(self._starts, self._ends))
+        return f"ExtentMap({ranges})"
+
+    @property
+    def total_bytes(self) -> int:
+        """Sum of all extent lengths."""
+        return sum(e - s for s, e in zip(self._starts, self._ends))
+
+    def add(self, start: int, end: int) -> None:
+        """Mark ``[start, end)``; adjacent/overlapping extents are merged."""
+        if end <= start:
+            return
+        # Find the window of existing extents that touch [start, end].
+        lo = bisect_left(self._ends, start)       # first extent with end >= start
+        hi = bisect_right(self._starts, end)      # first extent with start > end
+        if lo < hi:
+            start = min(start, self._starts[lo])
+            end = max(end, self._ends[hi - 1])
+            del self._starts[lo:hi]
+            del self._ends[lo:hi]
+        self._starts.insert(lo, start)
+        self._ends.insert(lo, end)
+
+    def remove(self, start: int, end: int) -> int:
+        """Clear ``[start, end)``; returns the number of bytes removed."""
+        if end <= start:
+            return 0
+        lo = bisect_right(self._ends, start)      # first extent with end > start
+        removed = 0
+        i = lo
+        new_pieces: list[tuple[int, int]] = []
+        while i < len(self._starts) and self._starts[i] < end:
+            s, e = self._starts[i], self._ends[i]
+            removed += min(e, end) - max(s, start)
+            if s < start:
+                new_pieces.append((s, start))
+            if e > end:
+                new_pieces.append((end, e))
+            i += 1
+        if i > lo:
+            del self._starts[lo:i]
+            del self._ends[lo:i]
+        for s, e in reversed(new_pieces):
+            self._starts.insert(lo, s)
+            self._ends.insert(lo, e)
+        return removed
+
+    def first_overlap(self, start: int, end: int) -> Extent | None:
+        """Return the first extent overlapping ``[start, end)``, if any."""
+        if end <= start:
+            return None
+        i = bisect_right(self._ends, start)
+        if i < len(self._starts) and self._starts[i] < end:
+            return Extent(self._starts[i], self._ends[i])
+        return None
+
+    def contains_range(self, start: int, end: int) -> bool:
+        """True when ``[start, end)`` lies entirely inside one extent."""
+        if end <= start:
+            return True
+        i = bisect_right(self._starts, start) - 1
+        return i >= 0 and self._ends[i] >= end
+
+    def covered_bytes(self, start: int, end: int) -> int:
+        """Number of marked bytes inside ``[start, end)``."""
+        if end <= start:
+            return 0
+        covered = 0
+        i = bisect_right(self._ends, start)
+        while i < len(self._starts) and self._starts[i] < end:
+            covered += min(self._ends[i], end) - max(self._starts[i], start)
+            i += 1
+        return covered
+
+    def last_end_leq(self, pos: int) -> int | None:
+        """Largest extent end that is <= ``pos`` (None when there is none)."""
+        i = bisect_right(self._ends, pos)
+        if i == 0:
+            return None
+        return self._ends[i - 1]
+
+    def max_end(self) -> int:
+        """Highest marked byte offset (0 when empty)."""
+        return self._ends[-1] if self._ends else 0
+
+    def gaps(self, start: int, end: int) -> Iterator[Extent]:
+        """Yield the unmarked sub-ranges of ``[start, end)``."""
+        cursor = start
+        i = bisect_right(self._ends, start)
+        while i < len(self._starts) and self._starts[i] < end:
+            s, e = self._starts[i], self._ends[i]
+            if s > cursor:
+                yield Extent(cursor, min(s, end))
+            cursor = max(cursor, e)
+            i += 1
+        if cursor < end:
+            yield Extent(cursor, end)
+
+    def check_invariants(self) -> None:
+        """Raise :class:`InvariantViolation` unless extents are sorted,
+        disjoint, non-adjacent, and non-empty (test hook)."""
+        prev_end: int | None = None
+        for s, e in zip(self._starts, self._ends):
+            if e <= s:
+                raise InvariantViolation(f"empty extent [{s},{e})")
+            if prev_end is not None and s <= prev_end:
+                raise InvariantViolation(
+                    f"extent [{s},{e}) not strictly after previous end {prev_end}"
+                )
+            prev_end = e

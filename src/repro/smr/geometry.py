@@ -1,0 +1,77 @@
+"""Track geometry of a shingled disk.
+
+The byte-addressed drive models express the shingle hazard as "writing
+``[a, b)`` damages the next ``guard_size`` bytes".  This module derives
+that byte figure from physical geometry -- track capacity and how many
+downstream tracks a write head overlaps -- so profiles can be stated in
+drive terms (the paper's guard region is "assigned by reserving
+non-written shingled tracks").
+
+Real drives have zoned bit recording (outer tracks hold more bytes);
+the model uses the mean track size, which is what matters for guard
+sizing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TrackGeometry:
+    """Geometry of the shingled surface."""
+
+    #: bytes per track (mean across zones)
+    track_bytes: int
+    #: how many subsequent tracks a track write destroys
+    shingle_overlap_tracks: int = 2
+
+    def __post_init__(self) -> None:
+        if self.track_bytes <= 0:
+            raise ValueError("track size must be positive")
+        if self.shingle_overlap_tracks < 1:
+            raise ValueError("shingle overlap must be at least one track")
+
+    @property
+    def guard_bytes(self) -> int:
+        """Bytes of guard space one write's damage zone covers."""
+        return self.track_bytes * self.shingle_overlap_tracks
+
+    def track_of(self, offset: int) -> int:
+        """Track index containing byte ``offset``."""
+        return offset // self.track_bytes
+
+    def track_start(self, track: int) -> int:
+        return track * self.track_bytes
+
+    def tracks_spanned(self, offset: int, length: int) -> int:
+        """Number of tracks an extent touches."""
+        if length <= 0:
+            return 0
+        return self.track_of(offset + length - 1) - self.track_of(offset) + 1
+
+    def damage_zone(self, offset: int, length: int) -> tuple[int, int]:
+        """Byte range destroyed *beyond* a write of ``[offset, offset+length)``.
+
+        Writing up to track ``t`` damages tracks ``t+1 ..
+        t+shingle_overlap_tracks``; returned as a half-open byte range
+        starting at the write's end (conservative: partial final tracks
+        damage from the write end, not the track boundary).
+        """
+        end = offset + length
+        last_track = self.track_of(end - 1) if length > 0 else self.track_of(end)
+        zone_end = self.track_start(last_track + 1 + self.shingle_overlap_tracks)
+        return end, max(end, zone_end)
+
+    @classmethod
+    def for_guard(cls, guard_bytes: int,
+                  shingle_overlap_tracks: int = 2) -> "TrackGeometry":
+        """Geometry whose guard region equals ``guard_bytes``.
+
+        Used by the scaled profiles: the paper's 4 MB guard with a
+        2-track overlap implies ~2 MB tracks; the scaled profile keeps
+        the same relationship.
+        """
+        track = max(1, guard_bytes // shingle_overlap_tracks)
+        return cls(track_bytes=track,
+                   shingle_overlap_tracks=shingle_overlap_tracks)

@@ -1,0 +1,118 @@
+"""Drive partitions: several stores consolidated on one spindle.
+
+The paper's opening motivation is consolidation: virtualization packs
+many applications' KV stores onto fewer servers and fewer (denser)
+drives.  A :class:`DrivePartition` exposes a byte-range slice of a
+parent drive as a drive of its own, so several independent store stacks
+can share one simulated device.
+
+What sharing buys the simulation:
+
+* one head and one clock -- tenants *interfere*: a tenant's compaction
+  drags the head away from its neighbours (the consolidation tax the
+  experiment ``ext_multitenant`` measures);
+* one SMR surface -- on a raw HM-SMR parent, the damage-zone rule is
+  enforced globally, so partitions must be separated by guard gaps
+  (handled by :func:`partition_drive`);
+* two ledgers -- the partition keeps its own
+  :class:`~repro.smr.stats.DriveStats` (per-tenant AWA) while the
+  parent's counters keep the whole-device view.
+"""
+
+from __future__ import annotations
+
+from repro.errors import OutOfRangeError, ReproError
+from repro.smr.drive import Drive
+from repro.smr.stats import DriveStats
+
+
+class DrivePartition:
+    """A byte-range view of a parent drive, usable as a drive."""
+
+    def __init__(self, parent: Drive, start: int, size: int) -> None:
+        if start < 0 or size <= 0 or start + size > parent.capacity:
+            raise ReproError(
+                f"partition [{start}, {start + size}) exceeds parent capacity "
+                f"{parent.capacity}"
+            )
+        self.parent = parent
+        self.start = start
+        self.capacity = size
+        self.stats = DriveStats()
+        # duck-typed surface shared with Drive
+        self.profile = parent.profile
+        self.clock = parent.clock
+        self.model = parent.model
+
+    @property
+    def now(self) -> float:
+        return self.parent.now
+
+    @property
+    def guard_size(self) -> int:
+        """Forwarded for raw HM-SMR parents (used by band managers)."""
+        return getattr(self.parent, "guard_size", 0)
+
+    def _check(self, offset: int, length: int) -> None:
+        if offset < 0 or length < 0 or offset + length > self.capacity:
+            raise OutOfRangeError(offset, length, self.capacity)
+
+    def read(self, offset: int, length: int, category: str = "data") -> bytes:
+        self._check(offset, length)
+        t0 = self.clock.now
+        seeked = (self.start + offset) != self.model.head
+        data = self.parent.read(self.start + offset, length, category)
+        self.stats.record_read(offset, length, self.clock.now - t0, category,
+                               seeked=seeked, now=self.clock.now)
+        return data
+
+    def write(self, offset: int, data: bytes, category: str = "data") -> None:
+        self._check(offset, len(data))
+        t0 = self.clock.now
+        seeked = (self.start + offset) != self.model.head
+        self.parent.write(self.start + offset, data, category)
+        self.stats.record_write(offset, len(data), self.clock.now - t0,
+                                category, seeked=seeked, now=self.clock.now)
+
+    def write_buffered(self, offset: int, data: bytes,
+                       category: str = "data") -> None:
+        self._check(offset, len(data))
+        t0 = self.clock.now
+        self.parent.write_buffered(self.start + offset, data, category)
+        self.stats.record_write(offset, len(data), self.clock.now - t0,
+                                category, seeked=False, now=self.clock.now)
+
+    def trim(self, offset: int, length: int) -> None:
+        self._check(offset, length)
+        self.parent.trim(self.start + offset, length)
+
+    def charge_metadata_op(self) -> float:
+        return self.parent.charge_metadata_op()
+
+    def peek(self, offset: int, length: int) -> bytes:
+        self._check(offset, length)
+        return self.parent.peek(self.start + offset, length)
+
+
+def partition_drive(parent: Drive, tenants: int,
+                    gap: int | None = None) -> list[DrivePartition]:
+    """Split ``parent`` into equal tenant partitions with guard gaps.
+
+    The gap (default: the parent's guard size) keeps one tenant's
+    shingle damage zone out of the next tenant's space on raw HM-SMR
+    parents; it is harmless padding on other drive types.
+    """
+    if tenants < 1:
+        raise ReproError("need at least one tenant")
+    if gap is None:
+        gap = getattr(parent, "guard_size", 0)
+    usable = parent.capacity - gap * (tenants - 1)
+    size = usable // tenants
+    if size <= 0:
+        raise ReproError("parent too small for that many tenants")
+    partitions = []
+    cursor = 0
+    for _ in range(tenants):
+        partitions.append(DrivePartition(parent, cursor, size))
+        cursor += size + gap
+    return partitions

@@ -1,0 +1,137 @@
+"""I/O accounting: device statistics and the WA/AWA/MWA tracker.
+
+Table I of the paper defines three amplification factors::
+
+    WA   = bytes written by LSM compactions / bytes written by users
+    AWA  = bytes written by the device      / bytes written by compactions
+    MWA  = WA * AWA
+
+The layering here mirrors those definitions exactly:
+
+* the KV store reports *user* bytes (``put`` payloads) and *LSM* bytes
+  (SSTable bytes emitted by flushes and compactions) to an
+  :class:`AmplificationTracker`;
+* each simulated drive counts *device* bytes per category in a
+  :class:`DriveStats`, including read-modify-write overhead on
+  fixed-band SMR drives;
+* the tracker divides the two.
+
+Write-ahead-log traffic is tagged with its own category so it never
+pollutes AWA (the paper measures amplification of table data).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+
+@dataclass
+class IORecord:
+    """One device-level I/O, recorded when tracing is enabled."""
+
+    time: float
+    offset: int
+    length: int
+    is_write: bool
+    category: str
+    rmw: bool = False
+
+
+@dataclass
+class DriveStats:
+    """Per-drive counters; byte counters are additionally kept per category."""
+
+    bytes_read: int = 0
+    bytes_written: int = 0
+    read_ops: int = 0
+    write_ops: int = 0
+    seeks: int = 0
+    busy_time: float = 0.0
+    rmw_count: int = 0
+    rmw_bytes: int = 0
+    bytes_read_by_category: dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    bytes_written_by_category: dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    trace: list[IORecord] | None = None
+
+    def record_read(self, offset: int, length: int, elapsed: float,
+                    category: str, *, seeked: bool, now: float, rmw: bool = False) -> None:
+        self.bytes_read += length
+        self.read_ops += 1
+        self.busy_time += elapsed
+        self.bytes_read_by_category[category] += length
+        if seeked:
+            self.seeks += 1
+        if self.trace is not None:
+            self.trace.append(IORecord(now, offset, length, False, category, rmw))
+
+    def record_write(self, offset: int, length: int, elapsed: float,
+                     category: str, *, seeked: bool, now: float, rmw: bool = False) -> None:
+        self.bytes_written += length
+        self.write_ops += 1
+        self.busy_time += elapsed
+        self.bytes_written_by_category[category] += length
+        if seeked:
+            self.seeks += 1
+        if rmw:
+            self.rmw_count += 1
+            self.rmw_bytes += length
+        if self.trace is not None:
+            self.trace.append(IORecord(now, offset, length, True, category, rmw))
+
+    def enable_trace(self) -> None:
+        """Start recording every I/O (memory-hungry; use in experiments only)."""
+        if self.trace is None:
+            self.trace = []
+
+
+#: category used for SSTable/table data; AWA is computed over this category
+CATEGORY_TABLE = "table"
+#: category used for write-ahead-log traffic (excluded from AWA)
+CATEGORY_WAL = "wal"
+#: category used for manifest / metadata traffic (excluded from AWA)
+CATEGORY_META = "meta"
+
+
+@dataclass
+class AmplificationTracker:
+    """Accumulates the Table I amplification factors for one store.
+
+    The store calls :meth:`add_user_write` on every ``put`` and
+    :meth:`add_lsm_write` whenever it emits SSTable bytes (memtable
+    flushes and compaction outputs both count, as in the paper's
+    definition of "data size in compactions").  Device bytes come from
+    the attached drive's stats, restricted to the ``table`` category.
+    """
+
+    user_bytes: int = 0
+    lsm_bytes: int = 0
+    flush_bytes: int = 0
+    compaction_bytes: int = 0
+
+    def add_user_write(self, nbytes: int) -> None:
+        self.user_bytes += nbytes
+
+    def add_lsm_write(self, nbytes: int, *, is_flush: bool = False) -> None:
+        self.lsm_bytes += nbytes
+        if is_flush:
+            self.flush_bytes += nbytes
+        else:
+            self.compaction_bytes += nbytes
+
+    def wa(self) -> float:
+        """Write amplification from the LSM-tree."""
+        if self.user_bytes == 0:
+            return 0.0
+        return self.lsm_bytes / self.user_bytes
+
+    def awa(self, drive_stats: DriveStats) -> float:
+        """Auxiliary write amplification from the SMR drive."""
+        if self.lsm_bytes == 0:
+            return 0.0
+        device = drive_stats.bytes_written_by_category.get(CATEGORY_TABLE, 0)
+        return device / self.lsm_bytes
+
+    def mwa(self, drive_stats: DriveStats) -> float:
+        """Multiplicative overall write amplification (WA x AWA)."""
+        return self.wa() * self.awa(drive_stats)

@@ -1,0 +1,27 @@
+"""Small shared utilities: integer codecs and deterministic RNG helpers."""
+
+from repro.util.varint import (
+    decode_fixed32,
+    decode_fixed64,
+    decode_varint,
+    encode_fixed32,
+    encode_fixed64,
+    encode_varint,
+    put_length_prefixed,
+    get_length_prefixed,
+)
+from repro.util.rng import make_rng, fnv1a_64, hash64
+
+__all__ = [
+    "decode_fixed32",
+    "decode_fixed64",
+    "decode_varint",
+    "encode_fixed32",
+    "encode_fixed64",
+    "encode_varint",
+    "put_length_prefixed",
+    "get_length_prefixed",
+    "make_rng",
+    "fnv1a_64",
+    "hash64",
+]

@@ -1,0 +1,39 @@
+"""Deterministic random number helpers.
+
+Everything in the simulation that needs randomness goes through a seeded
+:class:`numpy.random.Generator` or one of the stateless hash functions
+below, so experiment runs are exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+
+def make_rng(seed: int | None) -> np.random.Generator:
+    """Create a seeded numpy Generator (PCG64)."""
+    return np.random.default_rng(seed)
+
+
+def fnv1a_64(data: bytes) -> int:
+    """64-bit FNV-1a hash of ``data`` (used by bloom filters and YCSB)."""
+    h = _FNV_OFFSET
+    for byte in data:
+        h ^= byte
+        h = (h * _FNV_PRIME) & _MASK64
+    return h
+
+
+def hash64(value: int) -> int:
+    """Mix an integer through FNV-1a (YCSB's ``fnvhash64`` key scrambler)."""
+    h = _FNV_OFFSET
+    for _ in range(8):
+        octet = value & 0xFF
+        value >>= 8
+        h ^= octet
+        h = (h * _FNV_PRIME) & _MASK64
+    return h

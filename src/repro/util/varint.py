@@ -1,0 +1,84 @@
+"""Integer codecs used by the on-"disk" formats (WAL, blocks, SSTables).
+
+The formats mirror LevelDB's: little-endian fixed-width integers and
+LEB128-style varints.  Implementations operate on ``bytes`` /
+``bytearray`` and return ``(value, new_offset)`` tuples for decoding so
+parsers can stream through a buffer without slicing.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import CorruptionError
+
+_FIXED32 = struct.Struct("<I")
+_FIXED64 = struct.Struct("<Q")
+
+_MAX_VARINT64_BYTES = 10
+
+
+def encode_fixed32(value: int) -> bytes:
+    """Encode ``value`` as a 4-byte little-endian unsigned integer."""
+    return _FIXED32.pack(value & 0xFFFFFFFF)
+
+
+def decode_fixed32(buf: bytes, offset: int = 0) -> int:
+    """Decode a 4-byte little-endian unsigned integer at ``offset``."""
+    if offset + 4 > len(buf):
+        raise CorruptionError("truncated fixed32")
+    return _FIXED32.unpack_from(buf, offset)[0]
+
+
+def encode_fixed64(value: int) -> bytes:
+    """Encode ``value`` as an 8-byte little-endian unsigned integer."""
+    return _FIXED64.pack(value & 0xFFFFFFFFFFFFFFFF)
+
+
+def decode_fixed64(buf: bytes, offset: int = 0) -> int:
+    """Decode an 8-byte little-endian unsigned integer at ``offset``."""
+    if offset + 8 > len(buf):
+        raise CorruptionError("truncated fixed64")
+    return _FIXED64.unpack_from(buf, offset)[0]
+
+
+def encode_varint(value: int) -> bytes:
+    """Encode a non-negative integer as a LEB128 varint."""
+    if value < 0:
+        raise ValueError(f"varint requires a non-negative value, got {value}")
+    out = bytearray()
+    while value >= 0x80:
+        out.append((value & 0x7F) | 0x80)
+        value >>= 7
+    out.append(value)
+    return bytes(out)
+
+
+def decode_varint(buf: bytes, offset: int = 0) -> tuple[int, int]:
+    """Decode a varint at ``offset``; return ``(value, next_offset)``."""
+    result = 0
+    shift = 0
+    pos = offset
+    end = min(len(buf), offset + _MAX_VARINT64_BYTES)
+    while pos < end:
+        byte = buf[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+    raise CorruptionError("truncated or overlong varint")
+
+
+def put_length_prefixed(out: bytearray, data: bytes) -> None:
+    """Append ``data`` to ``out`` prefixed with its varint length."""
+    out += encode_varint(len(data))
+    out += data
+
+
+def get_length_prefixed(buf: bytes, offset: int = 0) -> tuple[bytes, int]:
+    """Read a length-prefixed slice at ``offset``; return ``(data, next_offset)``."""
+    length, pos = decode_varint(buf, offset)
+    if pos + length > len(buf):
+        raise CorruptionError("truncated length-prefixed slice")
+    return bytes(buf[pos : pos + length]), pos + length

@@ -1,0 +1,51 @@
+"""Workload generation: distributions, key/value streams, the
+db_bench-style micro-benchmarks, and the YCSB core workloads A-F."""
+
+from repro.workloads.distributions import (
+    LatestGenerator,
+    ScrambledZipfianGenerator,
+    UniformGenerator,
+    ZipfianGenerator,
+)
+from repro.workloads.generators import KeyValueGenerator, scramble32
+from repro.workloads.microbench import (
+    EXTRA_WORKLOADS,
+    MICRO_WORKLOADS,
+    MicroBenchmark,
+    MicroResult,
+)
+from repro.workloads.ycsb import YCSBRunner, YCSBResult, YCSBWorkload, YCSB_WORKLOADS
+from repro.workloads.linkbench import LinkBenchWorkload, LinkBenchResult
+from repro.workloads.trace import (
+    ChurnTraceGenerator,
+    TraceOp,
+    TraceRecorder,
+    load_trace,
+    replay,
+    save_trace,
+)
+
+__all__ = [
+    "ChurnTraceGenerator",
+    "EXTRA_WORKLOADS",
+    "LinkBenchResult",
+    "LinkBenchWorkload",
+    "TraceOp",
+    "TraceRecorder",
+    "load_trace",
+    "replay",
+    "save_trace",
+    "KeyValueGenerator",
+    "LatestGenerator",
+    "MICRO_WORKLOADS",
+    "MicroBenchmark",
+    "MicroResult",
+    "ScrambledZipfianGenerator",
+    "UniformGenerator",
+    "YCSBResult",
+    "YCSBRunner",
+    "YCSBWorkload",
+    "YCSB_WORKLOADS",
+    "ZipfianGenerator",
+    "scramble32",
+]

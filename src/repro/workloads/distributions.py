@@ -1,0 +1,104 @@
+"""Key-choice distributions, matching YCSB's core generators.
+
+* :class:`UniformGenerator` -- uniform over ``[0, n)``.
+* :class:`ZipfianGenerator` -- Gray et al.'s rejection-free zipfian
+  algorithm ("Quickly generating billion-record synthetic databases"),
+  the same algorithm YCSB's ``ZipfianGenerator`` uses, with the YCSB
+  default constant 0.99.
+* :class:`ScrambledZipfianGenerator` -- zipfian popularity spread over
+  the key space by FNV hashing (YCSB's default for workloads A-D, F).
+* :class:`LatestGenerator` -- zipfian skew towards the most recently
+  inserted key (YCSB workload D).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.util.rng import hash64, make_rng
+
+
+class UniformGenerator:
+    """Uniformly random integers in ``[0, item_count)``."""
+
+    def __init__(self, item_count: int, seed: int | None = 0) -> None:
+        if item_count <= 0:
+            raise ValueError("item count must be positive")
+        self.item_count = item_count
+        self._rng = make_rng(seed)
+
+    def next(self) -> int:
+        return int(self._rng.integers(0, self.item_count))
+
+
+class ZipfianGenerator:
+    """Zipfian-distributed integers in ``[0, item_count)``; 0 is hottest."""
+
+    def __init__(self, item_count: int, theta: float = 0.99,
+                 seed: int | None = 0) -> None:
+        if item_count <= 0:
+            raise ValueError("item count must be positive")
+        if not 0 < theta < 1:
+            raise ValueError("theta must be in (0, 1)")
+        self.item_count = item_count
+        self.theta = theta
+        self._rng = make_rng(seed)
+        self._alpha = 1.0 / (1.0 - theta)
+        self._zetan = self._zeta(item_count, theta)
+        self._zeta2 = self._zeta(2, theta)
+        self._eta = ((1.0 - (2.0 / item_count) ** (1.0 - theta))
+                     / (1.0 - self._zeta2 / self._zetan))
+
+    @staticmethod
+    def _zeta(n: int, theta: float) -> float:
+        # Exact for small n; Euler-Maclaurin tail approximation keeps
+        # construction O(1)-ish for large key spaces.
+        cutoff = min(n, 10000)
+        total = sum(1.0 / i ** theta for i in range(1, cutoff + 1))
+        if n > cutoff:
+            total += ((n ** (1.0 - theta) - cutoff ** (1.0 - theta))
+                      / (1.0 - theta))
+        return total
+
+    def next(self) -> int:
+        u = float(self._rng.random())
+        uz = u * self._zetan
+        if uz < 1.0:
+            return 0
+        if uz < 1.0 + 0.5 ** self.theta:
+            return 1
+        return int(self.item_count
+                   * (self._eta * u - self._eta + 1.0) ** self._alpha)
+
+
+class ScrambledZipfianGenerator:
+    """Zipfian popularity scattered over the key space by hashing."""
+
+    def __init__(self, item_count: int, theta: float = 0.99,
+                 seed: int | None = 0) -> None:
+        self.item_count = item_count
+        self._zipf = ZipfianGenerator(item_count, theta, seed)
+
+    def next(self) -> int:
+        return hash64(self._zipf.next()) % self.item_count
+
+
+class LatestGenerator:
+    """Skewed towards the most recent insertion.
+
+    ``max_value`` tracks the highest inserted index; samples are
+    ``max_value - zipf()`` clamped to the valid range.
+    """
+
+    def __init__(self, item_count: int, theta: float = 0.99,
+                 seed: int | None = 0) -> None:
+        self._zipf = ZipfianGenerator(item_count, theta, seed)
+        self.max_value = item_count - 1
+
+    def advance(self, new_max: int) -> None:
+        self.max_value = new_max
+
+    def next(self) -> int:
+        offset = self._zipf.next()
+        value = self.max_value - offset
+        return value if value >= 0 else 0

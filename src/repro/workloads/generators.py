@@ -1,0 +1,55 @@
+"""Key and value encoding shared by all workloads.
+
+Keys are fixed-width (the paper uses 16-byte keys): a zero-padded
+decimal rendering of an integer index, so ``key(i)`` is monotonic in
+``i`` (sequential loads are truly sequential).  Random-order workloads
+go through :meth:`KeyValueGenerator.scrambled_key`, a bijective
+multiplicative scramble (Knuth's 2654435761), so the same index always
+produces the same -- but key-space-scattered -- key, as YCSB's hashed
+``user###`` keys do.
+
+Values are deterministic pseudo-random bytes derived from the index, so
+reads can verify payloads without storing a reference copy.
+"""
+
+from __future__ import annotations
+
+from repro.util.rng import hash64
+
+_KNUTH = 2654435761
+_SCRAMBLE_MASK = (1 << 32) - 1
+
+
+def scramble32(index: int) -> int:
+    """Bijective scatter of a 32-bit index (odd multiplier mod 2**32)."""
+    return (index * _KNUTH) & _SCRAMBLE_MASK
+
+
+class KeyValueGenerator:
+    """Fixed-width keys and deterministic values."""
+
+    def __init__(self, key_size: int = 16, value_size: int = 100) -> None:
+        if key_size < 8:
+            raise ValueError("key size must be at least 8 bytes")
+        if value_size < 1:
+            raise ValueError("value size must be positive")
+        self.key_size = key_size
+        self.value_size = value_size
+
+    def key(self, index: int) -> bytes:
+        """Monotonic fixed-width key for ``index``."""
+        return b"%0*d" % (self.key_size, index)
+
+    def scrambled_key(self, index: int) -> bytes:
+        """Key-space-scattered key for ``index`` (stable mapping)."""
+        return self.key(scramble32(index))
+
+    def value(self, index: int) -> bytes:
+        """Deterministic value bytes for ``index``."""
+        word = hash64(index).to_bytes(8, "little")
+        repeats = self.value_size // 8 + 1
+        return (word * repeats)[: self.value_size]
+
+    @property
+    def entry_size(self) -> int:
+        return self.key_size + self.value_size

@@ -1,0 +1,142 @@
+"""LinkBench-style social-graph workload.
+
+The paper's introduction motivates KV stores with social networking via
+LinkBench [18], Facebook's MySQL-replacement benchmark.  This module
+implements its essential shape over the KV API:
+
+* **nodes** (profile objects) and directed **links** (edges with a type
+  and a timestamp), encoded under composite keys so that a node's
+  outgoing links of one type are a contiguous key range;
+* the standard operation mix (LinkBench's default read-heavy mix:
+  ~69 % link reads, ~12 % link lists, ~19 % writes);
+* power-law node popularity (real social graphs are heavy-tailed),
+  via the zipfian generator.
+
+Key encoding::
+
+    n:<node id, 12 digits>                     -> node payload
+    l:<src, 12 digits>:<type, 2>:<dst, 12>     -> link payload
+
+A link *list* is then a prefix scan over ``l:<src>:<type>:``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.kvstore import KVStoreBase
+from repro.util.rng import make_rng
+from repro.workloads.distributions import ZipfianGenerator
+from repro.workloads.generators import KeyValueGenerator
+
+
+def node_key(node: int) -> bytes:
+    return b"n:%012d" % node
+
+def link_key(src: int, link_type: int, dst: int) -> bytes:
+    return b"l:%012d:%02d:%012d" % (src, link_type, dst)
+
+def link_prefix(src: int, link_type: int) -> bytes:
+    return b"l:%012d:%02d:" % (src, link_type)
+
+
+#: LinkBench's default operation mix (proportions of its workload file)
+DEFAULT_MIX = {
+    "get_link": 0.525,
+    "get_link_list": 0.257,
+    "count_links": 0.049,
+    "add_link": 0.09,
+    "delete_link": 0.03,
+    "update_node": 0.039,
+    "get_node": 0.01,
+}
+
+LINK_TYPES = 4
+
+
+@dataclass
+class LinkBenchResult:
+    phase: str
+    ops: int
+    sim_seconds: float
+    per_op: dict[str, int]
+
+    @property
+    def ops_per_sec(self) -> float:
+        return self.ops / self.sim_seconds if self.sim_seconds > 0 else 0.0
+
+
+class LinkBenchWorkload:
+    """Load a synthetic social graph, then run the operation mix."""
+
+    def __init__(self, num_nodes: int, links_per_node: int = 5,
+                 node_payload: int = 128, link_payload: int = 32,
+                 mix: dict[str, float] | None = None, seed: int = 0) -> None:
+        if num_nodes < 2:
+            raise ValueError("need at least two nodes")
+        self.num_nodes = num_nodes
+        self.links_per_node = links_per_node
+        self.kv = KeyValueGenerator(16, node_payload)
+        self.link_kv = KeyValueGenerator(16, link_payload)
+        self.mix = dict(DEFAULT_MIX if mix is None else mix)
+        total = sum(self.mix.values())
+        self.mix = {op: p / total for op, p in self.mix.items()}
+        self.seed = seed
+
+    # -- load phase ---------------------------------------------------------
+
+    def load(self, store: KVStoreBase) -> LinkBenchResult:
+        """Create every node and a power-law-ish set of initial links."""
+        rng = make_rng(self.seed)
+        popular = ZipfianGenerator(self.num_nodes, seed=self.seed)
+        start = store.now
+        links = 0
+        for node in range(self.num_nodes):
+            store.put(node_key(node), self.kv.value(node))
+            for _ in range(self.links_per_node):
+                dst = popular.next()
+                link_type = int(rng.integers(0, LINK_TYPES))
+                store.put(link_key(node, link_type, dst),
+                          self.link_kv.value(dst))
+                links += 1
+        store.flush()
+        return LinkBenchResult("load", self.num_nodes + links,
+                               store.now - start,
+                               {"nodes": self.num_nodes, "links": links})
+
+    # -- run phase -----------------------------------------------------------
+
+    def run(self, store: KVStoreBase, operations: int) -> LinkBenchResult:
+        rng = make_rng(self.seed + 1)
+        popular = ZipfianGenerator(self.num_nodes, seed=self.seed + 2)
+        ops = list(self.mix)
+        probabilities = [self.mix[o] for o in ops]
+        choices = rng.choice(len(ops), size=operations, p=probabilities)
+        counters = {op: 0 for op in ops}
+        next_dst = self.num_nodes  # fresh ids for added links
+        start = store.now
+        for choice in choices:
+            op = ops[int(choice)]
+            counters[op] += 1
+            src = popular.next()
+            link_type = int(rng.integers(0, LINK_TYPES))
+            if op == "get_link":
+                store.get(link_key(src, link_type, popular.next()))
+            elif op == "get_link_list":
+                prefix = link_prefix(src, link_type)
+                for _kv in store.scan(prefix, prefix + b"\xff", limit=50):
+                    pass
+            elif op == "count_links":
+                prefix = link_prefix(src, link_type)
+                sum(1 for _ in store.scan(prefix, prefix + b"\xff", limit=200))
+            elif op == "add_link":
+                store.put(link_key(src, link_type, next_dst),
+                          self.link_kv.value(next_dst))
+                next_dst += 1
+            elif op == "delete_link":
+                store.delete(link_key(src, link_type, popular.next()))
+            elif op == "update_node":
+                store.put(node_key(src), self.kv.value(src + 1))
+            elif op == "get_node":
+                store.get(node_key(src))
+        return LinkBenchResult("run", operations, store.now - start, counters)

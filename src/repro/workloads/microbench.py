@@ -1,0 +1,157 @@
+"""db_bench-style micro-benchmarks (Section IV-A / Fig. 8).
+
+The paper's basic-performance suite:
+
+* **fillseq** -- load N records in key order (no compaction pressure);
+* **fillrandom** -- load N records in uniformly random order (the
+  compaction-heavy headline workload, 3.42x in the paper);
+* **readseq** -- sequentially iterate K records of the random-loaded DB;
+* **readrandom** -- K uniformly random point lookups on that DB.
+
+Throughput is operations per *simulated* second, so the comparison
+captures disk behaviour, not Python speed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.kvstore import KVStoreBase
+from repro.util.rng import make_rng
+from repro.workloads.generators import KeyValueGenerator
+
+MICRO_WORKLOADS = ("fillseq", "fillrandom", "readseq", "readrandom")
+
+#: additional db_bench workloads beyond the paper's four
+EXTRA_WORKLOADS = ("overwrite", "readmissing", "seekrandom", "deleteseq")
+
+
+@dataclass
+class MicroResult:
+    """Outcome of one micro-benchmark phase."""
+
+    workload: str
+    ops: int
+    sim_seconds: float
+
+    @property
+    def ops_per_sec(self) -> float:
+        return self.ops / self.sim_seconds if self.sim_seconds > 0 else 0.0
+
+
+class MicroBenchmark:
+    """Runs the four micro workloads against one store."""
+
+    def __init__(self, kv: KeyValueGenerator, num_entries: int,
+                 seed: int = 0) -> None:
+        self.kv = kv
+        self.num_entries = num_entries
+        self.seed = seed
+
+    def fill_seq(self, store: KVStoreBase) -> MicroResult:
+        start = store.now
+        for index in range(self.num_entries):
+            store.put(self.kv.key(index), self.kv.value(index))
+        store.flush()
+        return MicroResult("fillseq", self.num_entries, store.now - start)
+
+    def fill_random(self, store: KVStoreBase) -> MicroResult:
+        """Uniformly random key order, duplicates included (db_bench)."""
+        rng = make_rng(self.seed)
+        indices = rng.integers(0, self.num_entries, size=self.num_entries)
+        start = store.now
+        for index in indices:
+            index = int(index)
+            store.put(self.kv.scrambled_key(index), self.kv.value(index))
+        store.flush()
+        return MicroResult("fillrandom", self.num_entries, store.now - start)
+
+    def read_seq(self, store: KVStoreBase, count: int) -> MicroResult:
+        start = store.now
+        seen = 0
+        for _key, _value in store.scan(limit=count):
+            seen += 1
+        return MicroResult("readseq", seen, store.now - start)
+
+    def read_random(self, store: KVStoreBase, count: int) -> MicroResult:
+        rng = make_rng(self.seed + 1)
+        indices = rng.integers(0, self.num_entries, size=count)
+        start = store.now
+        hits = 0
+        for index in indices:
+            if store.get(self.kv.scrambled_key(int(index))) is not None:
+                hits += 1
+        result = MicroResult("readrandom", count, store.now - start)
+        result.hits = hits  # type: ignore[attr-defined]
+        return result
+
+    def fill_batch(self, store: KVStoreBase, batch_size: int = 100
+                   ) -> MicroResult:
+        """Random load using grouped write batches (db_bench
+        ``fillbatch``): one WAL record and one memtable pass per
+        ``batch_size`` entries amortizes the per-write overhead."""
+        from repro.lsm.wal import WriteBatch
+
+        rng = make_rng(self.seed)
+        indices = rng.integers(0, self.num_entries, size=self.num_entries)
+        start = store.now
+        batch = WriteBatch()
+        for index in indices:
+            index = int(index)
+            batch.put(self.kv.scrambled_key(index), self.kv.value(index))
+            if len(batch) >= batch_size:
+                store.write_batch(batch)
+                batch = WriteBatch()
+        if len(batch):
+            store.write_batch(batch)
+        store.flush()
+        return MicroResult("fillbatch", self.num_entries, store.now - start)
+
+    # -- additional db_bench workloads ---------------------------------
+
+    def overwrite(self, store: KVStoreBase, count: int | None = None
+                  ) -> MicroResult:
+        """Re-put random existing keys (db_bench ``overwrite``)."""
+        count = count if count is not None else self.num_entries
+        rng = make_rng(self.seed + 2)
+        indices = rng.integers(0, self.num_entries, size=count)
+        start = store.now
+        for index in indices:
+            index = int(index)
+            store.put(self.kv.scrambled_key(index),
+                      self.kv.value(index + 1))
+        store.flush()
+        return MicroResult("overwrite", count, store.now - start)
+
+    def read_missing(self, store: KVStoreBase, count: int) -> MicroResult:
+        """Point lookups of keys that were never written (bloom-filter
+        fast path, db_bench ``readmissing``)."""
+        rng = make_rng(self.seed + 3)
+        indices = rng.integers(0, self.num_entries, size=count)
+        start = store.now
+        for index in indices:
+            store.get(b"miss-" + self.kv.scrambled_key(int(index)))
+        return MicroResult("readmissing", count, store.now - start)
+
+    def seek_random(self, store: KVStoreBase, count: int,
+                    scan_length: int = 10) -> MicroResult:
+        """Position an iterator at a random key and step a few entries
+        (db_bench ``seekrandom``)."""
+        rng = make_rng(self.seed + 4)
+        indices = rng.integers(0, self.num_entries, size=count)
+        start = store.now
+        for index in indices:
+            for _kv in store.scan(start=self.kv.scrambled_key(int(index)),
+                                  limit=scan_length):
+                pass
+        return MicroResult("seekrandom", count, store.now - start)
+
+    def delete_seq(self, store: KVStoreBase, count: int | None = None
+                   ) -> MicroResult:
+        """Delete keys in sequential order (db_bench ``deleteseq``)."""
+        count = count if count is not None else self.num_entries
+        start = store.now
+        for index in range(count):
+            store.delete(self.kv.key(index))
+        store.flush()
+        return MicroResult("deleteseq", count, store.now - start)

@@ -1,0 +1,166 @@
+"""YCSB core workloads (Section IV-A / Fig. 9).
+
+Operation mixes follow the paper's description (which matches the YCSB
+core package):
+
+=========  ==============================  ==================
+workload   mix                             request distribution
+=========  ==============================  ==================
+A          50% read / 50% update           zipfian
+B          95% read / 5% update            zipfian
+C          100% read                       zipfian
+D          95% read / 5% insert            latest
+E          95% scan / 5% insert            latest (per the paper)
+F          50% read / 50% read-modify-write zipfian
+=========  ==============================  ==================
+
+The load phase inserts ``record_count`` entries under scrambled keys
+(YCSB's hashed ``user###`` keys), giving the random-order load the
+paper performs before the run phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+from repro.kvstore import KVStoreBase
+from repro.util.rng import make_rng
+from repro.workloads.distributions import (
+    LatestGenerator,
+    ScrambledZipfianGenerator,
+    UniformGenerator,
+)
+from repro.workloads.generators import KeyValueGenerator
+
+_MAX_SCAN_LENGTH = 100
+
+
+@dataclass(frozen=True)
+class YCSBWorkload:
+    """One workload definition: operation proportions + distribution."""
+
+    name: str
+    read: float = 0.0
+    update: float = 0.0
+    insert: float = 0.0
+    scan: float = 0.0
+    rmw: float = 0.0
+    distribution: str = "zipfian"
+
+    def __post_init__(self) -> None:
+        total = self.read + self.update + self.insert + self.scan + self.rmw
+        if abs(total - 1.0) > 1e-9:
+            raise ReproError(f"workload {self.name}: proportions sum to {total}")
+        if self.distribution not in ("zipfian", "latest", "uniform"):
+            raise ReproError(f"unknown distribution {self.distribution!r}")
+
+
+YCSB_WORKLOADS: dict[str, YCSBWorkload] = {
+    "A": YCSBWorkload("A", read=0.5, update=0.5),
+    "B": YCSBWorkload("B", read=0.95, update=0.05),
+    "C": YCSBWorkload("C", read=1.0),
+    "D": YCSBWorkload("D", read=0.95, insert=0.05, distribution="latest"),
+    "E": YCSBWorkload("E", scan=0.95, insert=0.05, distribution="latest"),
+    "F": YCSBWorkload("F", read=0.5, rmw=0.5),
+}
+
+
+@dataclass
+class YCSBResult:
+    """Outcome of one run phase."""
+
+    workload: str
+    ops: int
+    sim_seconds: float
+    reads: int = 0
+    updates: int = 0
+    inserts: int = 0
+    scans: int = 0
+    rmws: int = 0
+    read_hits: int = 0
+
+    @property
+    def ops_per_sec(self) -> float:
+        return self.ops / self.sim_seconds if self.sim_seconds > 0 else 0.0
+
+
+class YCSBRunner:
+    """Load and run phases for one store."""
+
+    def __init__(self, kv: KeyValueGenerator, record_count: int,
+                 seed: int = 0) -> None:
+        self.kv = kv
+        self.record_count = record_count
+        self.seed = seed
+
+    def load(self, store: KVStoreBase) -> YCSBResult:
+        """Insert ``record_count`` entries in scrambled-key order."""
+        start = store.now
+        for index in range(self.record_count):
+            store.put(self.kv.scrambled_key(index), self.kv.value(index))
+        store.flush()
+        result = YCSBResult("load", self.record_count, store.now - start)
+        result.inserts = self.record_count
+        return result
+
+    def run(self, store: KVStoreBase, workload: YCSBWorkload,
+            operation_count: int) -> YCSBResult:
+        rng = make_rng(self.seed + 17)
+        chooser = self._key_chooser(workload)
+        result = YCSBResult(workload.name, operation_count, 0.0)
+        inserted = self.record_count
+        thresholds = self._thresholds(workload)
+        draws = rng.random(size=operation_count)
+        scan_lengths = rng.integers(1, _MAX_SCAN_LENGTH + 1,
+                                    size=operation_count)
+        start = store.now
+        for op in range(operation_count):
+            draw = draws[op]
+            if draw < thresholds[0]:
+                key = self.kv.scrambled_key(chooser())
+                if store.get(key) is not None:
+                    result.read_hits += 1
+                result.reads += 1
+            elif draw < thresholds[1]:
+                index = chooser()
+                store.put(self.kv.scrambled_key(index), self.kv.value(index))
+                result.updates += 1
+            elif draw < thresholds[2]:
+                store.put(self.kv.scrambled_key(inserted),
+                          self.kv.value(inserted))
+                inserted += 1
+                if isinstance(chooser.__self__, LatestGenerator):  # type: ignore[attr-defined]
+                    chooser.__self__.advance(inserted - 1)  # type: ignore[attr-defined]
+                result.inserts += 1
+            elif draw < thresholds[3]:
+                index = chooser()
+                count = 0
+                for _k, _v in store.scan(start=self.kv.scrambled_key(index),
+                                         limit=int(scan_lengths[op])):
+                    count += 1
+                result.scans += 1
+            else:
+                key = self.kv.scrambled_key(chooser())
+                value = store.get(key)
+                new = self.kv.value(chooser())
+                store.put(key, new)
+                result.rmws += 1
+        result.sim_seconds = store.now - start
+        return result
+
+    def _thresholds(self, w: YCSBWorkload) -> tuple[float, float, float, float]:
+        a = w.read
+        b = a + w.update
+        c = b + w.insert
+        d = c + w.scan
+        return a, b, c, d
+
+    def _key_chooser(self, workload: YCSBWorkload):
+        if workload.distribution == "zipfian":
+            gen = ScrambledZipfianGenerator(self.record_count, seed=self.seed)
+        elif workload.distribution == "latest":
+            gen = LatestGenerator(self.record_count, seed=self.seed)
+        else:
+            gen = UniformGenerator(self.record_count, seed=self.seed)
+        return gen.next

@@ -1,0 +1,29 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.profiles import ScaleProfile
+
+KiB = 1024
+MiB = 1024 * 1024
+
+#: tiny profile so unit/integration tests run in milliseconds
+TEST_PROFILE = ScaleProfile(
+    name="test",
+    capacity=8 * MiB,
+    sstable_size=4 * KiB,
+    band_size=40 * KiB,
+    guard_size=4 * KiB,
+    block_size=512,
+    value_size=32,
+    wal_region=40 * KiB,
+    meta_region=40 * KiB,
+    block_cache_bytes=64 * KiB,
+)
+
+
+@pytest.fixture
+def profile() -> ScaleProfile:
+    return TEST_PROFILE

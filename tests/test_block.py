@@ -1,0 +1,137 @@
+"""Tests for the SSTable block format."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import CorruptionError
+from repro.lsm.block import Block, BlockBuilder, BlockHandle
+from repro.lsm.ikey import InternalKey, TYPE_VALUE, lookup_key
+
+
+def ikey(user_key: bytes, seq: int = 1) -> InternalKey:
+    return InternalKey(user_key, seq, TYPE_VALUE)
+
+
+def build(pairs, restart_interval=16) -> Block:
+    b = BlockBuilder(restart_interval)
+    for k, v in pairs:
+        b.add(k.encode(), v)
+    return Block(b.finish())
+
+
+class TestBlockHandle:
+    def test_roundtrip(self):
+        h = BlockHandle(12345, 678)
+        decoded, pos = BlockHandle.decode(h.encode())
+        assert decoded == h
+        assert pos == len(h.encode())
+
+
+class TestBlockBuilder:
+    def test_empty_block_iterates_nothing(self):
+        b = BlockBuilder()
+        block = Block(b.finish())
+        assert list(block) == []
+
+    def test_size_estimate_grows(self):
+        b = BlockBuilder()
+        initial = b.size_estimate()
+        b.add(ikey(b"aaa").encode(), b"v" * 50)
+        assert b.size_estimate() > initial
+
+    def test_invalid_restart_interval(self):
+        with pytest.raises(ValueError):
+            BlockBuilder(0)
+
+
+class TestBlockRoundtrip:
+    def test_iterate_in_order(self):
+        pairs = [(ikey(b"k%03d" % i, 100 + i), b"v%d" % i) for i in range(50)]
+        block = build(pairs)
+        out = list(block)
+        assert [k.user_key for k, _v in out] == [p[0].user_key for p in pairs]
+        assert [v for _k, v in out] == [p[1] for p in pairs]
+
+    def test_prefix_compression_shrinks(self):
+        shared = [(ikey(b"commonprefix%04d" % i), b"v") for i in range(100)]
+        block_shared = build(shared)
+        distinct = [(ikey(bytes([65 + i % 26]) * 16 + b"%04d" % i), b"v")
+                    for i in range(100)]
+        block_distinct = build(distinct)
+        assert block_shared.size < block_distinct.size
+
+    def test_restart_interval_one(self):
+        pairs = [(ikey(b"k%02d" % i), b"v") for i in range(10)]
+        block = build(pairs, restart_interval=1)
+        assert [k.user_key for k, _ in block] == [p[0].user_key for p in pairs]
+
+    def test_seek_exact(self):
+        pairs = [(ikey(b"k%03d" % i, 50), b"v%d" % i) for i in range(40)]
+        block = build(pairs, restart_interval=4)
+        hits = list(block.seek(lookup_key(b"k020", 1000)))
+        assert hits[0][0].user_key == b"k020"
+        assert len(hits) == 20
+
+    def test_seek_between_keys(self):
+        pairs = [(ikey(b"k%03d" % (2 * i), 50), b"v") for i in range(20)]
+        block = build(pairs, restart_interval=4)
+        hits = list(block.seek(lookup_key(b"k003", 1000)))
+        assert hits[0][0].user_key == b"k004"
+
+    def test_seek_past_end(self):
+        pairs = [(ikey(b"k%03d" % i, 50), b"v") for i in range(10)]
+        block = build(pairs)
+        assert list(block.seek(lookup_key(b"z", 1000))) == []
+
+    def test_seek_before_start(self):
+        pairs = [(ikey(b"k%03d" % i, 50), b"v") for i in range(10)]
+        block = build(pairs)
+        hits = list(block.seek(lookup_key(b"a", 1000)))
+        assert len(hits) == 10
+
+    def test_seek_respects_sequence_ordering(self):
+        # same user key, multiple versions: newest (higher seq) first
+        pairs = [(InternalKey(b"k", 9, TYPE_VALUE), b"new"),
+                 (InternalKey(b"k", 5, TYPE_VALUE), b"old")]
+        block = build(pairs)
+        hits = list(block.seek(lookup_key(b"k", 7)))
+        assert hits[0][1] == b"old"  # seq 9 invisible at snapshot 7
+
+
+class TestBlockCorruption:
+    def test_crc_mismatch_detected(self):
+        b = BlockBuilder()
+        b.add(ikey(b"abc").encode(), b"value")
+        data = bytearray(b.finish())
+        data[3] ^= 0xFF
+        with pytest.raises(CorruptionError):
+            Block(bytes(data))
+
+    def test_too_small_block(self):
+        with pytest.raises(CorruptionError):
+            Block(b"tiny")
+
+
+@st.composite
+def _sorted_pairs(draw):
+    n = draw(st.integers(1, 60))
+    user_keys = sorted({b"k%05d" % draw(st.integers(0, 99999)) for _ in range(n)})
+    return [(ikey(k, 10), b"val-%d" % i) for i, k in enumerate(user_keys)]
+
+
+class TestBlockProperties:
+    @settings(max_examples=50)
+    @given(_sorted_pairs(), st.integers(1, 8))
+    def test_roundtrip_property(self, pairs, restart):
+        block = build(pairs, restart_interval=restart)
+        assert [(k.user_key, v) for k, v in block] == \
+               [(k.user_key, v) for k, v in pairs]
+
+    @settings(max_examples=50)
+    @given(_sorted_pairs(), st.binary(min_size=1, max_size=8))
+    def test_seek_matches_linear_scan(self, pairs, probe):
+        block = build(pairs, restart_interval=4)
+        target = lookup_key(probe, 1000)
+        expected = [(k.user_key, v) for k, v in pairs
+                    if not k.sort_key < target.sort_key]
+        assert [(k.user_key, v) for k, v in block.seek(target)] == expected

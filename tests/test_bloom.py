@@ -1,0 +1,62 @@
+"""Tests for the bloom filter."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import CorruptionError
+from repro.lsm.bloom import BloomFilter, _probes_for
+
+
+class TestProbeCount:
+    def test_ten_bits_gives_six_probes(self):
+        assert _probes_for(10) == 6
+
+    def test_clamped_low(self):
+        assert _probes_for(1) == 1
+
+    def test_clamped_high(self):
+        assert _probes_for(100) == 30
+
+
+class TestBloomFilter:
+    def test_no_false_negatives(self):
+        keys = [b"key%d" % i for i in range(1000)]
+        f = BloomFilter.build(keys, 10)
+        assert all(f.may_contain(k) for k in keys)
+
+    def test_false_positive_rate_reasonable(self):
+        keys = [b"key%d" % i for i in range(2000)]
+        f = BloomFilter.build(keys, 10)
+        false_positives = sum(
+            f.may_contain(b"other%d" % i) for i in range(2000)
+        )
+        assert false_positives / 2000 < 0.05  # ~1% expected at 10 bits/key
+
+    def test_empty_key_set(self):
+        f = BloomFilter.build([], 10)
+        # minimum-size bitmap exists; lookups just return False mostly
+        assert isinstance(f.may_contain(b"anything"), bool)
+
+    def test_encode_decode_roundtrip(self):
+        keys = [b"a", b"b", b"c"]
+        f = BloomFilter.build(keys, 10)
+        g = BloomFilter.decode(f.encode())
+        assert all(g.may_contain(k) for k in keys)
+        assert g.encode() == f.encode()
+
+    def test_decode_too_short_raises(self):
+        with pytest.raises(CorruptionError):
+            BloomFilter.decode(b"\x06")
+
+    def test_empty_bitmap_rejected(self):
+        with pytest.raises(CorruptionError):
+            BloomFilter(b"", 6)
+
+    @given(st.sets(st.binary(min_size=1, max_size=24), max_size=200),
+           st.integers(min_value=4, max_value=16))
+    def test_no_false_negatives_property(self, keys, bits):
+        keys = list(keys)
+        if not keys:
+            return
+        f = BloomFilter.build(keys, bits)
+        assert all(f.may_contain(k) for k in keys)

@@ -1,0 +1,80 @@
+"""Tests for the LRU cache."""
+
+from repro.lsm.cache import LRUCache
+
+
+class TestLRUCache:
+    def test_put_get(self):
+        c = LRUCache(1000)
+        c.put("a", b"xxx")
+        assert c.get("a") == b"xxx"
+        assert c.get("b") is None
+
+    def test_hit_miss_counters(self):
+        c = LRUCache(1000)
+        c.put("a", b"x")
+        c.get("a")
+        c.get("a")
+        c.get("nope")
+        assert c.hits == 2 and c.misses == 1
+        assert c.hit_rate == 2 / 3
+
+    def test_eviction_by_bytes(self):
+        c = LRUCache(100)
+        c.put("a", b"x" * 60)
+        c.put("b", b"y" * 60)  # evicts a
+        assert c.get("a") is None
+        assert c.get("b") is not None
+        assert c.used_bytes <= 100
+
+    def test_lru_order(self):
+        c = LRUCache(100)
+        c.put("a", b"x" * 40)
+        c.put("b", b"y" * 40)
+        c.get("a")              # refresh a
+        c.put("c", b"z" * 40)   # evicts b, not a
+        assert c.get("a") is not None
+        assert c.get("b") is None
+
+    def test_overwrite_same_key(self):
+        c = LRUCache(100)
+        c.put("a", b"x" * 40)
+        c.put("a", b"y" * 20)
+        assert c.get("a") == b"y" * 20
+        assert c.used_bytes == 20
+
+    def test_single_oversized_entry_kept(self):
+        c = LRUCache(10)
+        c.put("big", b"z" * 100)
+        assert c.get("big") is not None  # never evicts the only entry
+
+    def test_evict_explicit(self):
+        c = LRUCache(100)
+        c.put("a", b"x")
+        c.evict("a")
+        assert c.get("a") is None
+        c.evict("a")  # idempotent
+
+    def test_evict_prefix(self):
+        c = LRUCache(1000)
+        c.put(("f1", 0), b"x")
+        c.put(("f1", 10), b"y")
+        c.put(("f2", 0), b"z")
+        c.evict_prefix(("f1",))
+        assert c.get(("f1", 0)) is None
+        assert c.get(("f1", 10)) is None
+        assert c.get(("f2", 0)) is not None
+
+    def test_clear(self):
+        c = LRUCache(100)
+        c.put("a", b"x")
+        c.clear()
+        assert len(c) == 0 and c.used_bytes == 0
+
+    def test_charge_fn_object_size(self):
+        class Blockish:
+            size = 77
+
+        c = LRUCache(100)
+        c.put("a", Blockish())
+        assert c.used_bytes == 77

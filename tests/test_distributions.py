@@ -1,0 +1,100 @@
+"""Tests for the workload key-choice distributions."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.distributions import (
+    LatestGenerator,
+    ScrambledZipfianGenerator,
+    UniformGenerator,
+    ZipfianGenerator,
+)
+
+
+class TestUniform:
+    def test_range(self):
+        g = UniformGenerator(100, seed=1)
+        samples = [g.next() for _ in range(2000)]
+        assert min(samples) >= 0 and max(samples) < 100
+
+    def test_roughly_uniform(self):
+        g = UniformGenerator(10, seed=2)
+        counts = np.bincount([g.next() for _ in range(20000)], minlength=10)
+        assert counts.min() > 1500 and counts.max() < 2500
+
+    def test_deterministic(self):
+        a = [UniformGenerator(50, seed=7).next() for _ in range(10)]
+        b = [UniformGenerator(50, seed=7).next() for _ in range(10)]
+        assert a == b
+
+    def test_bad_count(self):
+        with pytest.raises(ValueError):
+            UniformGenerator(0)
+
+
+class TestZipfian:
+    def test_range(self):
+        g = ZipfianGenerator(1000, seed=1)
+        samples = [g.next() for _ in range(5000)]
+        assert min(samples) >= 0 and max(samples) < 1000
+
+    def test_skew_towards_zero(self):
+        g = ZipfianGenerator(1000, seed=3)
+        samples = [g.next() for _ in range(20000)]
+        zero_share = samples.count(0) / len(samples)
+        # item 0 is the hottest: far above uniform 0.1%
+        assert zero_share > 0.03
+        # top-10 items dominate
+        top10 = sum(1 for s in samples if s < 10) / len(samples)
+        assert top10 > 0.25
+
+    def test_large_keyspace_constructs_fast(self):
+        g = ZipfianGenerator(25_000_000, seed=1)
+        assert 0 <= g.next() < 25_000_000
+
+    def test_monotone_rank_frequency(self):
+        g = ZipfianGenerator(100, seed=5)
+        counts = np.bincount([g.next() for _ in range(40000)], minlength=100)
+        # frequency should broadly decrease with rank
+        assert counts[0] > counts[10] > counts[50]
+
+    def test_bad_theta(self):
+        with pytest.raises(ValueError):
+            ZipfianGenerator(10, theta=1.5)
+
+
+class TestScrambledZipfian:
+    def test_range_and_spread(self):
+        g = ScrambledZipfianGenerator(1000, seed=1)
+        samples = [g.next() for _ in range(10000)]
+        assert min(samples) >= 0 and max(samples) < 1000
+        # hashing spreads the hot items: item 0 is no longer the mode
+        # but *some* items are still hot (zipfian popularity preserved)
+        counts = np.bincount(samples, minlength=1000)
+        assert counts.max() > 5 * counts.mean()
+
+    def test_hot_item_not_sequential(self):
+        g = ScrambledZipfianGenerator(1000, seed=2)
+        counts = np.bincount([g.next() for _ in range(20000)], minlength=1000)
+        hot = int(np.argmax(counts))
+        assert hot != 0  # scrambled away from rank order
+
+
+class TestLatest:
+    def test_skew_towards_newest(self):
+        g = LatestGenerator(1000, seed=1)
+        samples = [g.next() for _ in range(10000)]
+        assert max(samples) == 999
+        recent = sum(1 for s in samples if s > 900) / len(samples)
+        assert recent > 0.4
+
+    def test_advance_moves_the_hot_spot(self):
+        g = LatestGenerator(1000, seed=1)
+        g.advance(1999)
+        samples = [g.next() for _ in range(5000)]
+        assert max(samples) == 1999
+        assert sum(1 for s in samples if s > 1900) / len(samples) > 0.4
+
+    def test_never_negative(self):
+        g = LatestGenerator(5, seed=1)
+        assert all(g.next() >= 0 for _ in range(1000))

@@ -1,0 +1,135 @@
+"""Tests for the drive-managed SMR model and track geometry."""
+
+import pytest
+
+from repro.smr.drive_managed import DriveManagedSMRDrive
+from repro.smr.geometry import TrackGeometry
+
+KiB = 1024
+MiB = 1024 * 1024
+
+
+class TestTrackGeometry:
+    def test_guard_bytes(self):
+        g = TrackGeometry(track_bytes=2 * MiB, shingle_overlap_tracks=2)
+        assert g.guard_bytes == 4 * MiB
+
+    def test_track_of(self):
+        g = TrackGeometry(track_bytes=1024)
+        assert g.track_of(0) == 0
+        assert g.track_of(1023) == 0
+        assert g.track_of(1024) == 1
+
+    def test_tracks_spanned(self):
+        g = TrackGeometry(track_bytes=1024)
+        assert g.tracks_spanned(0, 1024) == 1
+        assert g.tracks_spanned(512, 1024) == 2
+        assert g.tracks_spanned(0, 0) == 0
+
+    def test_damage_zone(self):
+        g = TrackGeometry(track_bytes=1024, shingle_overlap_tracks=2)
+        start, end = g.damage_zone(0, 1024)     # write fills track 0
+        assert start == 1024
+        assert end == 3 * 1024                  # tracks 1 and 2 destroyed
+
+    def test_for_guard_roundtrip(self):
+        g = TrackGeometry.for_guard(4 * MiB, shingle_overlap_tracks=2)
+        assert g.guard_bytes == 4 * MiB
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TrackGeometry(0)
+        with pytest.raises(ValueError):
+            TrackGeometry(1024, 0)
+
+
+class TestDriveManagedSMR:
+    def _drive(self, capacity=8 * MiB, band=256 * KiB, cache=512 * KiB):
+        return DriveManagedSMRDrive(capacity, band, cache_size=cache)
+
+    def test_sequential_writes_bypass_cache(self):
+        d = self._drive()
+        base = d.native_start
+        d.write(base, b"a" * 64 * KiB)
+        d.write(base + 64 * KiB, b"b" * 64 * KiB)
+        assert d._cache_used == 0
+        assert d.cleanings == 0
+        assert d.read(base, 1) == b"a"
+
+    def test_random_write_absorbed_fast(self):
+        d = self._drive()
+        base = d.native_start
+        d.write(base, b"a" * 128 * KiB)
+        t0 = d.now
+        d.write(base + 16 * KiB, b"X" * 4 * KiB)   # below frontier
+        absorbed = d.now - t0
+        assert d._cache_used > 0
+        # absorbed write is far cheaper than a band RMW would be
+        assert absorbed < 0.05
+        assert d.read(base + 16 * KiB, 1) == b"X"
+
+    def test_cleaning_triggers_at_watermark(self):
+        d = self._drive(cache=64 * KiB)
+        base = d.native_start
+        d.write(base, b"a" * 128 * KiB)
+        for i in range(20):
+            d.write(base + i * 4 * KiB, b"Y" * 4 * KiB)
+        assert d.cleanings > 0
+        assert d.stats.rmw_count > 0
+        assert d._cache_used < 64 * KiB  # reset after cleaning
+
+    def test_bimodal_latency(self):
+        """Most cached writes are fast; cleaning writes stall -- the
+        bimodal behaviour the paper cites as DM-SMR's flaw."""
+        d = self._drive(cache=64 * KiB)
+        base = d.native_start
+        d.write(base, b"a" * 192 * KiB)
+        latencies = []
+        for i in range(40):
+            t0 = d.now
+            d.write(base + (i % 24) * 8 * KiB, b"Z" * 4 * KiB)
+            latencies.append(d.now - t0)
+        fast = sorted(latencies)[: len(latencies) // 2]
+        slow = max(latencies)
+        assert slow > 20 * (sum(fast) / len(fast))
+
+    def test_cleaning_produces_write_amplification(self):
+        d = self._drive(cache=64 * KiB)
+        base = d.native_start
+        d.write(base, b"a" * 128 * KiB)
+        user = 128 * KiB
+        for i in range(30):
+            d.write(base + (i % 16) * 4 * KiB, b"W" * 4 * KiB)
+            user += 4 * KiB
+        assert d.stats.bytes_written > 1.5 * user
+
+    def test_data_correct_after_cleaning(self):
+        d = self._drive(cache=32 * KiB)
+        base = d.native_start
+        d.write(base, bytes(range(256)) * 256)    # 64 KiB pattern
+        for i in range(12):
+            d.write(base + i * 4 * KiB, bytes([i + 1]) * 4 * KiB)
+        for i in range(12):
+            assert d.read(base + i * 4 * KiB, 1)[0] == i + 1
+
+    def test_huge_write_folds_directly(self):
+        d = self._drive(cache=64 * KiB)
+        base = d.native_start
+        d.write(base, b"a" * 128 * KiB)
+        d.write(base, b"B" * 100 * KiB)   # >= half the cache
+        assert d.read(base, 1) == b"B"
+        assert d.stats.rmw_count > 0
+
+    def test_cache_region_not_host_addressable(self):
+        d = self._drive()
+        with pytest.raises(ValueError):
+            d.write(0, b"nope")
+
+    def test_trim_resets_band(self):
+        d = self._drive()
+        base = d.native_start
+        d.write(base, b"a" * d.band_size)
+        d.trim(base, d.band_size)
+        t0 = d.now
+        d.write(base, b"b" * 4 * KiB)      # sequential again, no cache
+        assert d._cache_used == 0

@@ -1,0 +1,204 @@
+"""Tests for dynamic-band management over the raw HM-SMR drive."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.dynamic_band import DynamicBandManager
+from repro.errors import AllocationError, InvariantViolation
+from repro.smr.raw_hmsmr import RawHMSMRDrive
+
+KiB = 1024
+MiB = 1024 * 1024
+GUARD = 4 * KiB
+
+
+def make_manager(capacity=4 * MiB, data_start=0, guard=GUARD):
+    drive = RawHMSMRDrive(capacity, guard_size=guard)
+    return DynamicBandManager(drive, data_start, class_unit=4 * KiB), drive
+
+
+class TestAppendPath:
+    def test_appends_are_contiguous(self):
+        m, _ = make_manager()
+        a = m.allocate(10 * KiB)
+        b = m.allocate(6 * KiB)
+        assert a == 0
+        assert b == 10 * KiB
+        assert m.tail == 16 * KiB
+        assert m.appends == 2 and m.inserts == 0
+
+    def test_appended_writes_are_drive_safe(self):
+        m, drive = make_manager()
+        for size in (10 * KiB, 6 * KiB, 20 * KiB):
+            offset = m.allocate(size)
+            drive.write(offset, b"x" * size)  # must not raise
+        m.check_invariants()
+
+    def test_disk_full(self):
+        m, _ = make_manager(capacity=64 * KiB)
+        m.allocate(60 * KiB)
+        with pytest.raises(AllocationError):
+            m.allocate(8 * KiB)
+
+
+class TestInsertPath:
+    def test_insert_requires_eq1(self):
+        """Eq. 1: S_free >= S_req + S_guard."""
+        m, drive = make_manager()
+        a = m.allocate(16 * KiB)
+        b = m.allocate(16 * KiB)
+        drive.write(a, b"a" * 16 * KiB)
+        drive.write(b, b"b" * 16 * KiB)
+        m.free(a, 16 * KiB)
+        # 16 KiB free; a 16 KiB request needs 16+4 KiB -> must append
+        c = m.allocate(16 * KiB)
+        assert c == m.tail - 16 * KiB  # appended
+        # a 12 KiB request fits (12 + 4 <= 16) -> inserted at the hole
+        d = m.allocate(12 * KiB)
+        assert d == a
+        assert m.inserts == 1
+
+    def test_insert_leaves_guard_for_downstream_data(self):
+        m, drive = make_manager()
+        a = m.allocate(16 * KiB)
+        b = m.allocate(16 * KiB)
+        drive.write(a, b"a" * 16 * KiB)
+        drive.write(b, b"b" * 16 * KiB)
+        m.free(a, 16 * KiB)
+        d = m.allocate(12 * KiB)
+        # writing the insert must not damage the valid data at b
+        drive.write(d, b"d" * 12 * KiB)
+        assert drive.peek(b, 1) == b"b"
+
+    def test_split_returns_remainder(self):
+        m, drive = make_manager()
+        a = m.allocate(32 * KiB)
+        b = m.allocate(8 * KiB)
+        drive.write(a, b"a" * 32 * KiB)
+        drive.write(b, b"b" * 8 * KiB)
+        m.free(a, 32 * KiB)
+        m.allocate(8 * KiB)  # splits the 32 KiB hole
+        assert m.splits == 1
+        assert m.free_bytes() == 24 * KiB
+
+    def test_guard_sized_leftover_never_allocated(self):
+        m, drive = make_manager()
+        a = m.allocate(8 * KiB)
+        b = m.allocate(8 * KiB)
+        drive.write(a, b"a" * 8 * KiB)
+        drive.write(b, b"b" * 8 * KiB)
+        m.free(a, 8 * KiB)
+        got = m.allocate(4 * KiB)   # 4 + 4 <= 8: inserted, leaves 4 KiB
+        assert got == a
+        # the 4 KiB leftover can never satisfy any request (needs +guard)
+        nxt = m.allocate(1)
+        assert nxt == m.tail - 1    # appended, not inserted
+
+
+class TestFreeAndCoalesce:
+    def test_coalesce_adjacent(self):
+        m, drive = make_manager()
+        sizes = [16 * KiB, 16 * KiB, 16 * KiB]
+        offs = [m.allocate(s) for s in sizes]
+        tail_guard = m.allocate(16 * KiB)  # keeps region away from tail
+        for off, s in zip(offs + [tail_guard], sizes + [16 * KiB]):
+            drive.write(off, b"x" * s)
+        m.free(offs[0], 16 * KiB)
+        m.free(offs[2], 16 * KiB)
+        assert len(m.free_list) == 2
+        m.free(offs[1], 16 * KiB)   # bridges both neighbours
+        assert len(m.free_list) == 1
+        assert m.free_list.regions()[0] == \
+            __import__("repro.smr.extent", fromlist=["Extent"]).Extent(0, 48 * KiB)
+        assert m.coalesces == 2
+
+    def test_free_at_tail_returns_to_residual(self):
+        m, _ = make_manager()
+        a = m.allocate(16 * KiB)
+        b = m.allocate(16 * KiB)
+        m.free(b, 16 * KiB)
+        assert m.tail == 16 * KiB
+        assert m.free_bytes() == 0
+
+    def test_free_chain_to_tail(self):
+        m, _ = make_manager()
+        a = m.allocate(16 * KiB)
+        b = m.allocate(16 * KiB)
+        m.free(a, 16 * KiB)       # becomes a free region
+        m.free(b, 16 * KiB)       # coalesces with a, reaches tail
+        assert m.tail == 0
+        assert m.free_bytes() == 0
+
+    def test_free_unallocated_raises(self):
+        m, _ = make_manager()
+        with pytest.raises(InvariantViolation):
+            m.free(0, 4 * KiB)
+
+    def test_trim_called_on_drive(self):
+        m, drive = make_manager()
+        a = m.allocate(16 * KiB)
+        b = m.allocate(4 * KiB)
+        drive.write(a, b"x" * 16 * KiB)
+        m.free(a, 16 * KiB)
+        assert drive.valid.covered_bytes(a, a + 16 * KiB) == 0
+
+
+class TestDerivedLayout:
+    def test_bands(self):
+        m, drive = make_manager()
+        a = m.allocate(16 * KiB)
+        b = m.allocate(16 * KiB)
+        c = m.allocate(16 * KiB)
+        for off in (a, b, c):
+            drive.write(off, b"x" * 16 * KiB)
+        m.free(b, 16 * KiB)
+        bands = m.bands()
+        assert len(bands) == 2
+        assert bands[0].length == 16 * KiB
+        assert bands[1].length == 16 * KiB
+
+    def test_fragments(self):
+        m, drive = make_manager()
+        offs = [m.allocate(16 * KiB) for _ in range(3)]
+        for off in offs:
+            drive.write(off, b"x" * 16 * KiB)
+        m.free(offs[1], 16 * KiB)
+        assert m.fragments(max_useful=16 * KiB) == m.free_list.regions()
+        assert m.fragments(max_useful=8 * KiB) == []
+
+    def test_counters(self):
+        m, drive = make_manager()
+        assert m.occupied_bytes() == 0
+        a = m.allocate(16 * KiB)
+        assert m.occupied_bytes() == 16 * KiB
+        assert m.allocated_bytes() == 16 * KiB
+
+
+class TestDynamicBandProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.one_of(
+        st.tuples(st.just("alloc"), st.integers(1, 12)),
+        st.tuples(st.just("free"), st.integers(0, 30)),
+    ), max_size=60))
+    def test_never_violates_drive_safety(self, ops):
+        """Whatever allocation/free sequence runs, writes into allocated
+        space never overwrite valid data (the drive would raise), and
+        manager invariants hold."""
+        m, drive = make_manager(capacity=2 * MiB)
+        live: list[tuple[int, int]] = []
+        for op, arg in ops:
+            if op == "alloc":
+                size = arg * 4 * KiB
+                try:
+                    off = m.allocate(size)
+                except AllocationError:
+                    continue
+                drive.write(off, bytes([arg]) * size)  # must never raise
+                live.append((off, size))
+            elif live:
+                off, size = live.pop(arg % len(live))
+                m.free(off, size)
+            m.check_invariants()
+        # all remaining live data is intact
+        for off, size in live:
+            assert drive.peek(off, 1)[0] == size // (4 * KiB)

@@ -1,0 +1,121 @@
+"""Smoke tests for every experiment module (tiny scales).
+
+The benchmarks exercise the experiments at calibrated scale and assert
+the paper's shapes; these tests only verify that each experiment runs,
+returns a structurally sound result, and renders.
+"""
+
+import pytest
+
+from repro.experiments import (
+    fig02_sstable_scatter,
+    fig03_band_amplification,
+    fig08_microbench,
+    fig09_ycsb,
+    fig10_compaction_detail,
+    fig11_set_layout,
+    fig12_write_amplification,
+    fig13_fragments,
+    fig14_ablation,
+    table02_drive_params,
+)
+from repro.harness.profiles import SMALL_PROFILE
+
+MiB = 1024 * 1024
+DB = 1 * MiB
+
+
+class TestFig02:
+    def test_runs_and_renders(self):
+        r = fig02_sstable_scatter.run(db_bytes=DB, profile=SMALL_PROFILE)
+        assert r.num_compactions > 0
+        assert len(r.offsets) == r.num_compactions
+        assert r.max_offset > 0
+        assert "Fig. 2" in fig02_sstable_scatter.render(r)
+
+
+class TestFig03:
+    def test_runs_and_renders(self):
+        r = fig03_band_amplification.run(db_bytes=DB, profile=SMALL_PROFILE,
+                                         ratios=(5, 10))
+        assert len(r.points) == 2
+        assert all(p.wa > 1 for p in r.points)
+        assert all(p.mwa >= p.wa for p in r.points)
+        assert "band" in fig03_band_amplification.render(r)
+
+
+class TestTable02:
+    def test_runs_and_renders(self):
+        r = table02_drive_params.run()
+        assert r.hdd.seq_read_mbps > r.hdd.seq_write_mbps
+        assert r.smr.rand_write_iops_min <= r.smr.rand_write_iops_max
+        assert "Table II" in table02_drive_params.render(r)
+
+
+class TestFig08:
+    def test_runs_and_renders(self):
+        r = fig08_microbench.run(db_bytes=DB, read_ops=150,
+                                 profile=SMALL_PROFILE)
+        assert set(r.results) == {"fillseq", "fillrandom", "readseq",
+                                  "readrandom"}
+        for by_store in r.results.values():
+            assert set(by_store) == {"LevelDB", "SMRDB", "SEALDB"}
+        assert r.normalized["fillseq"]["LevelDB"] == 1.0
+        assert "Fig. 8" in fig08_microbench.render(r)
+
+
+class TestFig09:
+    def test_runs_and_renders(self):
+        r = fig09_ycsb.run(db_bytes=DB // 2, operation_count=100,
+                           profile=SMALL_PROFILE, workloads=("A", "C"),
+                           store_kinds=("leveldb", "sealdb"))
+        assert set(r.results) == {"load", "A", "C"}
+        assert r.results["A"]["SEALDB"].ops == 100
+        assert "YCSB" in fig09_ycsb.render(r)
+
+
+class TestFig10:
+    def test_runs_and_renders(self):
+        r = fig10_compaction_detail.run(db_bytes=DB, profile=SMALL_PROFILE,
+                                        store_kinds=("leveldb", "sealdb"))
+        assert r.details["SEALDB"].avg_set_size is not None
+        assert r.details["LevelDB"].avg_set_size is None
+        assert r.details["LevelDB"].summary.count > 0
+        assert "Fig. 10" in fig10_compaction_detail.render(r)
+
+
+class TestFig11:
+    def test_runs_and_renders(self):
+        r = fig11_set_layout.run(db_bytes=DB, profile=SMALL_PROFILE)
+        assert r.contiguous_fraction == 1.0
+        assert r.footprint > 0
+        assert "Fig. 11" in fig11_set_layout.render(r)
+
+
+class TestFig12:
+    def test_runs_and_renders(self):
+        r = fig12_write_amplification.run(db_bytes=DB, profile=SMALL_PROFILE)
+        assert r.factors["SEALDB"][1] == 1.0       # AWA
+        assert r.factors["LevelDB"][1] > 1.0
+        assert r.mwa_reduction_vs_leveldb() > 1.0
+        assert "Fig. 12" in fig12_write_amplification.render(r)
+
+
+class TestFig13:
+    def test_runs_and_renders(self):
+        r = fig13_fragments.run(db_bytes=DB, profile=SMALL_PROFILE)
+        assert r.occupied_bytes >= r.allocated_bytes
+        assert 0 <= r.fragment_share < 1
+        assert r.num_bands >= 1
+        assert "Fig. 13" in fig13_fragments.render(r)
+
+
+class TestFig14:
+    def test_runs_and_renders(self):
+        r = fig14_ablation.run(db_bytes=DB, read_ops=150,
+                               profile=SMALL_PROFILE)
+        assert set(next(iter(r.results.values()))) == \
+            {"LevelDB", "LevelDB+sets", "SEALDB"}
+        share = r.sets_contribution("fillrandom")
+        assert 0.0 <= share <= 1.5
+        assert "Fig. 14" in fig14_ablation.render(r)

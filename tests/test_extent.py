@@ -1,0 +1,171 @@
+"""Unit and property tests for the extent map."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import InvariantViolation
+from repro.smr.extent import Extent, ExtentMap
+
+
+class TestExtent:
+    def test_length(self):
+        assert Extent(10, 25).length == 15
+
+    def test_inverted_rejected(self):
+        with pytest.raises(InvariantViolation):
+            Extent(10, 5)
+
+    def test_overlaps(self):
+        e = Extent(10, 20)
+        assert e.overlaps(15, 25)
+        assert e.overlaps(5, 11)
+        assert not e.overlaps(20, 30)   # half-open
+        assert not e.overlaps(0, 10)
+
+    def test_contains(self):
+        e = Extent(10, 20)
+        assert e.contains(10, 20)
+        assert e.contains(12, 15)
+        assert not e.contains(9, 15)
+
+
+class TestExtentMapBasics:
+    def test_add_and_total(self):
+        m = ExtentMap()
+        m.add(0, 10)
+        m.add(20, 30)
+        assert m.total_bytes == 20
+        assert len(m) == 2
+
+    def test_adjacent_merge(self):
+        m = ExtentMap()
+        m.add(0, 10)
+        m.add(10, 20)
+        assert len(m) == 1
+        assert list(m) == [Extent(0, 20)]
+
+    def test_overlapping_merge(self):
+        m = ExtentMap()
+        m.add(0, 15)
+        m.add(10, 30)
+        m.add(5, 12)
+        assert list(m) == [Extent(0, 30)]
+
+    def test_bridge_merge(self):
+        m = ExtentMap()
+        m.add(0, 10)
+        m.add(20, 30)
+        m.add(10, 20)
+        assert list(m) == [Extent(0, 30)]
+
+    def test_empty_add_ignored(self):
+        m = ExtentMap()
+        m.add(5, 5)
+        assert len(m) == 0
+
+    def test_remove_middle_splits(self):
+        m = ExtentMap()
+        m.add(0, 30)
+        removed = m.remove(10, 20)
+        assert removed == 10
+        assert list(m) == [Extent(0, 10), Extent(20, 30)]
+
+    def test_remove_across_extents(self):
+        m = ExtentMap()
+        m.add(0, 10)
+        m.add(20, 30)
+        removed = m.remove(5, 25)
+        assert removed == 10
+        assert list(m) == [Extent(0, 5), Extent(25, 30)]
+
+    def test_remove_nothing(self):
+        m = ExtentMap()
+        m.add(0, 10)
+        assert m.remove(10, 20) == 0
+        assert list(m) == [Extent(0, 10)]
+
+    def test_first_overlap(self):
+        m = ExtentMap()
+        m.add(10, 20)
+        m.add(30, 40)
+        assert m.first_overlap(0, 11) == Extent(10, 20)
+        assert m.first_overlap(25, 35) == Extent(30, 40)
+        assert m.first_overlap(20, 30) is None
+        assert m.first_overlap(40, 50) is None
+
+    def test_contains_range(self):
+        m = ExtentMap()
+        m.add(10, 30)
+        assert m.contains_range(10, 30)
+        assert m.contains_range(15, 20)
+        assert not m.contains_range(5, 15)
+        assert not m.contains_range(25, 35)
+        assert m.contains_range(12, 12)  # empty range trivially contained
+
+    def test_covered_bytes(self):
+        m = ExtentMap()
+        m.add(10, 20)
+        m.add(30, 40)
+        assert m.covered_bytes(0, 50) == 20
+        assert m.covered_bytes(15, 35) == 10
+        assert m.covered_bytes(20, 30) == 0
+
+    def test_max_end_and_last_end_leq(self):
+        m = ExtentMap()
+        assert m.max_end() == 0
+        m.add(10, 20)
+        m.add(30, 40)
+        assert m.max_end() == 40
+        assert m.last_end_leq(25) == 20
+        assert m.last_end_leq(40) == 40
+        assert m.last_end_leq(5) is None
+
+    def test_gaps(self):
+        m = ExtentMap()
+        m.add(10, 20)
+        m.add(30, 40)
+        assert list(m.gaps(0, 50)) == [Extent(0, 10), Extent(20, 30), Extent(40, 50)]
+        assert list(m.gaps(10, 40)) == [Extent(20, 30)]
+        assert list(m.gaps(12, 18)) == []
+
+
+@st.composite
+def _operations(draw):
+    ops = draw(st.lists(
+        st.tuples(st.sampled_from(["add", "remove"]),
+                  st.integers(0, 200), st.integers(1, 50)),
+        max_size=40,
+    ))
+    return ops
+
+
+class TestExtentMapProperties:
+    @given(_operations())
+    def test_matches_reference_set(self, ops):
+        """The extent map behaves exactly like a set of byte offsets."""
+        m = ExtentMap()
+        reference: set[int] = set()
+        for op, start, length in ops:
+            end = start + length
+            if op == "add":
+                m.add(start, end)
+                reference.update(range(start, end))
+            else:
+                m.remove(start, end)
+                reference.difference_update(range(start, end))
+            m.check_invariants()
+            assert m.total_bytes == len(reference)
+        for probe in range(0, 260, 7):
+            assert m.contains_range(probe, probe + 1) == (probe in reference)
+
+    @given(_operations())
+    def test_gaps_complement_extents(self, ops):
+        m = ExtentMap()
+        for op, start, length in ops:
+            if op == "add":
+                m.add(start, start + length)
+            else:
+                m.remove(start, start + length)
+        covered = m.covered_bytes(0, 300)
+        gap_total = sum(g.length for g in m.gaps(0, 300))
+        assert covered + gap_total == 300

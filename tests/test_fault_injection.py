@@ -1,0 +1,152 @@
+"""Fault-injection tests: crash at arbitrary points, recover, verify.
+
+The "crash" model: an exception is injected into a storage write at a
+chosen operation count, aborting whatever flush/compaction was running.
+Everything already on the simulated drive (tables, manifest log, WAL)
+survives; the engine is then rebuilt with ``DB.recover`` and must come
+back consistent -- committed data readable, orphan files from the
+aborted operation garbage-collected.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.storage import DynamicBandStorage
+from repro.errors import ReproError
+from repro.fs.ext4sim import Ext4Storage
+from repro.lsm.db import DB
+from repro.lsm.options import Options
+from repro.smr.drive import ConventionalDrive
+from repro.smr.raw_hmsmr import RawHMSMRDrive
+
+KiB = 1024
+MiB = 1024 * 1024
+
+
+class InjectedCrash(ReproError):
+    """The simulated power failure."""
+
+
+def _install_crash(storage, after_writes: int) -> None:
+    """Make the storage raise after ``after_writes`` more table writes."""
+    state = {"left": after_writes}
+    original = storage.write_files
+
+    def tripwire(files, category="table"):
+        if state["left"] <= 0:
+            raise InjectedCrash("power failure")
+        state["left"] -= 1
+        return original(files, category)
+
+    storage.write_files = tripwire  # type: ignore[method-assign]
+    storage._crash_restore = original  # type: ignore[attr-defined]
+
+
+def _heal(storage) -> None:
+    storage.write_files = storage._crash_restore  # type: ignore[attr-defined]
+
+
+def _options(**overrides):
+    base = dict(write_buffer_size=4 * KiB, sstable_size=4 * KiB,
+                block_size=512, base_level_bytes=8 * KiB,
+                block_cache_bytes=64 * KiB)
+    base.update(overrides)
+    return Options(**base)
+
+
+def _make(kind: str):
+    if kind == "ext4":
+        drive = ConventionalDrive(16 * MiB)
+        storage = Ext4Storage(drive, wal_size=64 * KiB, meta_size=64 * KiB,
+                              block_size=512)
+        return DB(storage, _options())
+    drive = RawHMSMRDrive(16 * MiB, guard_size=4 * KiB)
+    storage = DynamicBandStorage(drive, wal_size=64 * KiB, meta_size=64 * KiB,
+                                 class_unit=4 * KiB)
+    return DB(storage, _options(use_sets=True))
+
+
+def key(i: int) -> bytes:
+    return b"key%08d" % i
+
+
+@pytest.mark.parametrize("kind", ["ext4", "dynamic"])
+@pytest.mark.parametrize("crash_after", [0, 1, 5, 17, 29])
+class TestCrashAnywhere:
+    def test_recovery_is_consistent(self, kind, crash_after):
+        db = _make(kind)
+        committed: dict[bytes, bytes] = {}
+        _install_crash(db.storage, crash_after)
+        crashed = False
+        rng = np.random.default_rng(crash_after)
+        for i in rng.permutation(4000):
+            k, v = key(int(i)), b"value-%d" % i
+            try:
+                db.put(k, v)
+            except InjectedCrash:
+                crashed = True
+                break
+            committed[k] = v
+
+        _heal(db.storage)
+        recovered = DB.recover(db.storage, db.options)
+        if crash_after <= 29:
+            assert crashed, "crash point never reached"
+        # every acknowledged write is present
+        for k, v in list(committed.items())[::7]:
+            assert recovered.get(k) == v
+        recovered.check_invariants()
+        # the recovered DB accepts new writes and compacts normally
+        for i in range(4000, 5500):
+            recovered.put(key(i), b"post-%d" % i)
+        recovered.flush()
+        assert recovered.get(key(5000)) == b"post-5000"
+
+
+class TestOrphanCleanup:
+    def test_orphans_removed_on_recovery(self):
+        db = _make("ext4")
+        for i in range(1500):
+            db.put(key(i), b"value-%d" % i)
+        # plant an orphan: a table file the manifest never learned about
+        db.storage.write_files([("999999.sst", b"\x00" * 2048)])
+        assert db.storage.exists("999999.sst")
+        recovered = DB.recover(db.storage, db.options)
+        assert not db.storage.exists("999999.sst")
+        assert recovered.get(key(7)) == b"value-7"
+
+    def test_orphan_set_space_reclaimed_on_dynamic_storage(self):
+        db = _make("dynamic")
+        for i in range(1500):
+            db.put(key(i), b"value-%d" % i)
+        manager = db.storage.manager
+        live_before = manager.allocated_bytes()
+        db.storage.write_files([("999998.sst", b"\x00" * 2048),
+                                ("999999.sst", b"\x00" * 2048)])
+        assert manager.allocated_bytes() > live_before
+        DB.recover(db.storage, db.options)
+        assert manager.allocated_bytes() == live_before
+        manager.check_invariants()
+
+
+class TestCrashDuringCompaction:
+    def test_mid_compaction_crash_keeps_old_version(self):
+        """Crash while writing compaction outputs: the inputs are still
+        referenced by the manifest, so nothing is lost."""
+        db = _make("ext4")
+        # fill until a compaction is imminent, then arm the tripwire
+        for i in range(1200):
+            db.put(key(i), b"value-%d" % i)
+        _install_crash(db.storage, 1)  # next flush ok, then crash
+        crashed_at = None
+        try:
+            for i in range(1200, 2400):
+                db.put(key(i), b"value-%d" % i)
+        except InjectedCrash:
+            crashed_at = i
+        _heal(db.storage)
+        assert crashed_at is not None
+        recovered = DB.recover(db.storage, db.options)
+        for i in range(0, 1200, 101):
+            assert recovered.get(key(i)) == b"value-%d" % i
+        recovered.check_invariants()

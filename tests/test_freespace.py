@@ -1,0 +1,120 @@
+"""Tests for the free-space list (sorted size-class array of lists)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.freespace import FreeSpaceList
+from repro.errors import InvariantViolation
+from repro.smr.extent import Extent
+
+KiB = 1024
+
+
+class TestFreeSpaceList:
+    def _fsl(self, unit=4 * KiB):
+        return FreeSpaceList(unit)
+
+    def test_empty(self):
+        f = self._fsl()
+        assert len(f) == 0
+        assert f.total_bytes == 0
+        assert f.allocate(100) is None
+
+    def test_insert_allocate_exact(self):
+        f = self._fsl()
+        f.insert(Extent(0, 8 * KiB))
+        got = f.allocate(8 * KiB)
+        assert got == Extent(0, 8 * KiB)
+        assert len(f) == 0
+
+    def test_allocate_prefers_smallest_adequate_class(self):
+        f = self._fsl()
+        f.insert(Extent(100 * KiB, 140 * KiB))   # 40 KiB, class 10
+        f.insert(Extent(0, 8 * KiB))             # 8 KiB, class 2
+        got = f.allocate(6 * KiB)
+        assert got == Extent(0, 8 * KiB)
+
+    def test_allocate_skips_too_small_in_class(self):
+        f = self._fsl(unit=4 * KiB)
+        # two regions in the same class (sizes 8..12 KiB => class 2)
+        f.insert(Extent(0, 9 * KiB))             # 9 KiB
+        f.insert(Extent(50 * KiB, 61 * KiB))     # 11 KiB
+        got = f.allocate(10 * KiB)
+        assert got == Extent(50 * KiB, 61 * KiB)
+
+    def test_allocate_first_in_insertion_order(self):
+        f = self._fsl()
+        f.insert(Extent(40 * KiB, 48 * KiB))
+        f.insert(Extent(0, 8 * KiB))
+        got = f.allocate(8 * KiB)
+        assert got.start == 40 * KiB  # first inserted in that class
+
+    def test_remove_exact(self):
+        f = self._fsl()
+        ext = Extent(0, 8 * KiB)
+        f.insert(ext)
+        f.remove(ext)
+        assert len(f) == 0 and f.total_bytes == 0
+
+    def test_remove_unknown_raises(self):
+        f = self._fsl()
+        with pytest.raises(InvariantViolation):
+            f.remove(Extent(0, 8 * KiB))
+
+    def test_duplicate_start_rejected(self):
+        f = self._fsl()
+        f.insert(Extent(0, 8 * KiB))
+        with pytest.raises(InvariantViolation):
+            f.insert(Extent(0, 4 * KiB))
+
+    def test_region_at(self):
+        f = self._fsl()
+        f.insert(Extent(16 * KiB, 32 * KiB))
+        assert f.region_at(16 * KiB) == Extent(16 * KiB, 32 * KiB)
+        assert f.region_at(0) is None
+
+    def test_regions_sorted(self):
+        f = self._fsl()
+        f.insert(Extent(64 * KiB, 72 * KiB))
+        f.insert(Extent(0, 8 * KiB))
+        f.insert(Extent(32 * KiB, 48 * KiB))
+        starts = [r.start for r in f.regions()]
+        assert starts == sorted(starts)
+
+    def test_zero_length_ignored(self):
+        f = self._fsl()
+        f.insert(Extent(5, 5))
+        assert len(f) == 0
+
+    def test_bad_unit(self):
+        with pytest.raises(ValueError):
+            FreeSpaceList(0)
+
+    def test_bad_allocation_size(self):
+        with pytest.raises(ValueError):
+            self._fsl().allocate(0)
+
+    @given(st.lists(st.tuples(st.integers(0, 500), st.integers(1, 40)),
+                    max_size=40),
+           st.lists(st.integers(1, 60 * 1024), max_size=20))
+    def test_property_alloc_never_overlaps(self, inserts, requests):
+        """Allocations always come from previously inserted, disjoint
+        regions; invariants hold throughout."""
+        f = FreeSpaceList(4 * KiB)
+        occupied: set[int] = set()
+        for slot, length in inserts:
+            start, end = slot * KiB, (slot + length) * KiB
+            if any(b in occupied for b in range(slot, slot + length)):
+                continue
+            f.insert(Extent(start, end))
+            occupied.update(range(slot, slot + length))
+        f.check_invariants()
+        total_before = f.total_bytes
+        allocated = 0
+        for req in requests:
+            got = f.allocate(req)
+            if got is not None:
+                assert got.length >= req
+                allocated += got.length
+            f.check_invariants()
+        assert f.total_bytes == total_before - allocated

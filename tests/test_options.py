@@ -1,0 +1,80 @@
+"""Tests for engine options validation and derived values."""
+
+import pytest
+
+from repro.lsm.options import Options
+
+KiB = 1024
+
+
+class TestOptionsValidation:
+    def test_defaults_valid(self):
+        Options()
+
+    def test_min_levels(self):
+        with pytest.raises(ValueError):
+            Options(max_levels=1)
+
+    def test_victim_policy_validated(self):
+        with pytest.raises(ValueError):
+            Options(victim_policy="random")
+
+    def test_style_validated(self):
+        with pytest.raises(ValueError):
+            Options(style="tiered-ish")
+
+    def test_two_tier_requires_two_levels(self):
+        with pytest.raises(ValueError):
+            Options(style="two-tier", max_levels=7)
+        Options(style="two-tier", max_levels=2)
+
+    def test_tier_trigger_validated(self):
+        with pytest.raises(ValueError):
+            Options(style="two-tier", max_levels=2, tier_merge_trigger=1)
+
+    def test_amplification_factor_validated(self):
+        with pytest.raises(ValueError):
+            Options(amplification_factor=1)
+
+
+class TestDerivedValues:
+    def test_level_bytes_limit_growth(self):
+        options = Options(base_level_bytes=10 * KiB, amplification_factor=10)
+        assert options.level_bytes_limit(1) == 10 * KiB
+        assert options.level_bytes_limit(2) == 100 * KiB
+        assert options.level_bytes_limit(3) == 1000 * KiB
+
+    def test_level_zero_has_no_bytes_limit(self):
+        with pytest.raises(ValueError):
+            Options().level_bytes_limit(0)
+
+    def test_do_prefetch_follows_use_sets(self):
+        assert not Options().do_prefetch
+        assert Options(use_sets=True).do_prefetch
+        assert not Options(use_sets=True,
+                           prefetch_compaction_inputs=False).do_prefetch
+        assert Options(use_sets=False,
+                       prefetch_compaction_inputs=True).do_prefetch
+
+
+class TestErrorsHierarchy:
+    def test_all_errors_derive_from_base(self):
+        from repro import errors
+
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if (isinstance(obj, type) and issubclass(obj, Exception)
+                    and obj is not errors.ReproError):
+                assert issubclass(obj, errors.ReproError), name
+
+    def test_out_of_range_message(self):
+        from repro.errors import OutOfRangeError
+
+        err = OutOfRangeError(100, 50, 120)
+        assert "150" in str(err) and "120" in str(err)
+
+    def test_shingle_error_fields(self):
+        from repro.errors import ShingleOverwriteError
+
+        err = ShingleOverwriteError(0, 10, (5, 20))
+        assert err.offset == 0 and err.damaged == (5, 20)

@@ -1,0 +1,101 @@
+"""Tests for drive partitions and consolidated tenants."""
+
+import pytest
+
+from repro.errors import OutOfRangeError, ReproError, ShingleOverwriteError
+from repro.smr.partition import DrivePartition, partition_drive
+from repro.smr.raw_hmsmr import RawHMSMRDrive
+
+KiB = 1024
+MiB = 1024 * 1024
+
+
+class TestDrivePartition:
+    def _parent(self):
+        return RawHMSMRDrive(1 * MiB, guard_size=4 * KiB)
+
+    def test_offset_translation(self):
+        parent = self._parent()
+        part = DrivePartition(parent, 256 * KiB, 128 * KiB)
+        part.write(0, b"hello")
+        assert parent.peek(256 * KiB, 5) == b"hello"
+        assert part.read(0, 5) == b"hello"
+        assert part.peek(0, 5) == b"hello"
+
+    def test_bounds_enforced(self):
+        part = DrivePartition(self._parent(), 0, 64 * KiB)
+        with pytest.raises(OutOfRangeError):
+            part.write(64 * KiB - 2, b"xxx")
+        with pytest.raises(OutOfRangeError):
+            part.read(70 * KiB, 1)
+
+    def test_bad_geometry_rejected(self):
+        parent = self._parent()
+        with pytest.raises(ReproError):
+            DrivePartition(parent, 0, 2 * MiB)
+        with pytest.raises(ReproError):
+            DrivePartition(parent, -1, KiB)
+
+    def test_per_partition_stats(self):
+        parent = self._parent()
+        a = DrivePartition(parent, 0, 256 * KiB)
+        b = DrivePartition(parent, 512 * KiB, 256 * KiB)
+        a.write(0, b"x" * 100)
+        b.write(0, b"y" * 300)
+        assert a.stats.bytes_written == 100
+        assert b.stats.bytes_written == 300
+        assert parent.stats.bytes_written == 400
+
+    def test_shared_clock_and_head(self):
+        parent = self._parent()
+        a = DrivePartition(parent, 0, 256 * KiB)
+        b = DrivePartition(parent, 512 * KiB, 256 * KiB)
+        t0 = parent.now
+        a.write(0, b"x" * 4 * KiB)
+        t1 = parent.now
+        assert t1 > t0
+        b.write(0, b"y" * 4 * KiB)   # head must travel: extra seek time
+        assert parent.now > t1
+
+    def test_smr_safety_enforced_across_partition(self):
+        parent = self._parent()
+        part = DrivePartition(parent, 0, 512 * KiB)
+        part.write(10 * KiB, b"a" * KiB)
+        with pytest.raises(ShingleOverwriteError):
+            part.write(8 * KiB, b"b" * KiB)  # damage zone hits the data
+
+    def test_trim_forwards(self):
+        parent = self._parent()
+        part = DrivePartition(parent, 64 * KiB, 128 * KiB)
+        part.write(0, b"z" * KiB)
+        part.trim(0, KiB)
+        part.write(0, b"w" * KiB)    # legal again after trim
+        assert part.read(0, 1) == b"w"
+
+
+class TestPartitionDrive:
+    def test_equal_partitions_with_gaps(self):
+        parent = RawHMSMRDrive(1 * MiB, guard_size=4 * KiB)
+        parts = partition_drive(parent, 4)
+        assert len(parts) == 4
+        sizes = {p.capacity for p in parts}
+        assert len(sizes) == 1
+        # gaps: consecutive partitions do not touch
+        for a, b in zip(parts, parts[1:]):
+            assert a.start + a.capacity + parent.guard_size <= b.start
+
+    def test_tenants_writing_full_partitions_never_collide(self):
+        parent = RawHMSMRDrive(1 * MiB, guard_size=4 * KiB)
+        parts = partition_drive(parent, 3)
+        for index, part in enumerate(parts):
+            payload = bytes([index + 1]) * (part.capacity // 2)
+            part.write(0, payload)
+        for index, part in enumerate(parts):
+            assert part.read(0, 1) == bytes([index + 1])
+
+    def test_validation(self):
+        parent = RawHMSMRDrive(64 * KiB, guard_size=4 * KiB)
+        with pytest.raises(ReproError):
+            partition_drive(parent, 0)
+        with pytest.raises(ReproError):
+            partition_drive(parent, 1000)

@@ -1,0 +1,79 @@
+"""Tests for the ASCII plotting / CSV helpers."""
+
+import pathlib
+
+from repro.harness.plotting import (
+    ascii_scatter,
+    ascii_series,
+    disk_layout_map,
+    to_csv,
+)
+
+
+class TestAsciiScatter:
+    def test_empty(self):
+        assert "(no data)" in ascii_scatter([], title="t")
+
+    def test_marker_placement(self):
+        text = ascii_scatter([(0, 0), (10, 10)], width=20, height=5)
+        lines = [l for l in text.splitlines() if "|" in l]
+        assert "*" in lines[0]       # max y on top row
+        assert "*" in lines[-1]      # min y on bottom row
+
+    def test_title_and_labels(self):
+        text = ascii_scatter([(1, 2)], title="T", xlabel="x", ylabel="y")
+        assert text.startswith("T")
+        assert "x" in text and "y" in text
+
+    def test_single_point_no_crash(self):
+        assert "*" in ascii_scatter([(5, 5)])
+
+    def test_dimensions(self):
+        text = ascii_scatter([(0, 0), (1, 1)], width=30, height=8)
+        plot_lines = [l for l in text.splitlines() if l.endswith(tuple(" *"))
+                      and "|" in l]
+        assert len(plot_lines) == 8
+
+
+class TestAsciiSeries:
+    def test_two_series_legend(self):
+        text = ascii_series({"a": [1, 2, 3], "b": [3, 2, 1]}, title="T")
+        assert "* = a" in text
+        assert "o = b" in text
+        assert "*" in text and "o" in text
+
+    def test_empty_series(self):
+        assert "(no data)" in ascii_series({"a": []})
+
+    def test_constant_series(self):
+        text = ascii_series({"flat": [5, 5, 5]})
+        assert "*" in text
+
+
+class TestDiskLayoutMap:
+    def test_regions_rendered(self):
+        text = disk_layout_map(
+            [(0, 50, "#"), (50, 100, "."), (90, 100, "g")],
+            capacity=100, width=20, title="layout")
+        assert text.startswith("layout")
+        body = text.splitlines()[1]
+        assert "#" in body and "." in body and "g" in body
+        assert body.index("#") < body.index(".")
+
+    def test_tiny_extent_still_visible(self):
+        text = disk_layout_map([(0, 1, "#")], capacity=10**9, width=20)
+        assert "#" in text
+
+
+class TestCsv:
+    def test_text_output(self):
+        text = to_csv(["a", "b"], [[1, 2], [3, "x"]])
+        lines = text.strip().splitlines()
+        assert lines[0] == "a,b"
+        assert lines[1] == "1,2"
+        assert lines[2] == "3,x"
+
+    def test_file_output(self, tmp_path: pathlib.Path):
+        path = tmp_path / "out.csv"
+        to_csv(["h"], [[1]], path=path)
+        assert path.read_text().startswith("h")

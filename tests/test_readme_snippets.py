@@ -1,0 +1,24 @@
+"""The README's quickstart code must keep working verbatim."""
+
+from repro import SealDB, DEFAULT_PROFILE, SMALL_PROFILE
+
+
+def test_readme_quickstart_snippet():
+    db = SealDB(SMALL_PROFILE)          # README uses DEFAULT_PROFILE;
+    db.put(b"key", b"value")            # SMALL keeps the test quick
+    assert db.get(b"key") == b"value"
+    db.delete(b"key")
+
+    for _k, _v in db.scan(b"a", b"z", limit=10):
+        pass
+
+    assert db.wa() >= 0.0
+    assert db.awa() >= 0.0
+    assert db.mwa() >= 0.0
+    assert isinstance(db.band_manager.bands(), list)
+
+
+def test_default_profile_constructs():
+    db = SealDB(DEFAULT_PROFILE)
+    db.put(b"key", b"value")
+    assert db.get(b"key") == b"value"

@@ -1,0 +1,97 @@
+"""Tests for the set registry."""
+
+import pytest
+
+from repro.core.sets import SetRegistry
+from repro.errors import InvariantViolation
+from repro.smr.extent import Extent
+
+KiB = 1024
+
+
+def members(*specs):
+    return [(name, Extent(start, start + size)) for name, start, size in specs]
+
+
+class TestSetRegistry:
+    def test_register(self):
+        r = SetRegistry()
+        info = r.register(members(("a", 0, 4 * KiB), ("b", 4 * KiB, 4 * KiB)))
+        assert info.num_members == 2
+        assert info.extent == Extent(0, 8 * KiB)
+        assert info.size == 8 * KiB
+        assert len(r) == 1
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(InvariantViolation):
+            SetRegistry().register([])
+
+    def test_member_cannot_join_two_sets(self):
+        r = SetRegistry()
+        r.register(members(("a", 0, KiB)))
+        with pytest.raises(InvariantViolation):
+            r.register(members(("a", 2 * KiB, KiB)))
+
+    def test_set_of(self):
+        r = SetRegistry()
+        info = r.register(members(("a", 0, KiB), ("b", KiB, KiB)))
+        assert r.set_of("a") is info
+        assert r.set_of("nope") is None
+
+    def test_fade_on_last_invalidation(self):
+        r = SetRegistry()
+        r.register(members(("a", 0, KiB), ("b", KiB, KiB), ("c", 2 * KiB, KiB)))
+        assert r.mark_invalid("a") is None
+        assert r.mark_invalid("c") is None
+        faded = r.mark_invalid("b")
+        assert faded is not None and faded.faded
+        assert faded.extent == Extent(0, 3 * KiB)
+        assert len(r) == 0
+        assert r.set_of("a") is None
+
+    def test_double_invalidation_rejected(self):
+        r = SetRegistry()
+        r.register(members(("a", 0, KiB), ("b", KiB, KiB)))
+        r.mark_invalid("a")
+        with pytest.raises(InvariantViolation):
+            r.mark_invalid("a")
+
+    def test_unknown_member_rejected(self):
+        with pytest.raises(InvariantViolation):
+            SetRegistry().mark_invalid("ghost")
+
+    def test_invalid_count(self):
+        r = SetRegistry()
+        r.register(members(("a", 0, KiB), ("b", KiB, KiB), ("c", 2 * KiB, KiB)))
+        assert r.invalid_count("b") == 0
+        r.mark_invalid("a")
+        assert r.invalid_count("b") == 1
+        assert r.invalid_count("ghost") == 0
+
+    def test_single_member_set_fades_immediately(self):
+        r = SetRegistry()
+        r.register(members(("solo", 0, KiB)))
+        assert r.mark_invalid("solo") is not None
+
+    def test_statistics(self):
+        r = SetRegistry()
+        r.register(members(("a", 0, 2 * KiB)))
+        r.register(members(("b", 2 * KiB, 4 * KiB), ("c", 6 * KiB, 2 * KiB)))
+        assert r.average_set_size() == (2 * KiB + 6 * KiB) / 2
+        assert r.average_set_members() == 1.5
+        # stats survive fading (history, not live state)
+        r.mark_invalid("a")
+        assert r.average_set_size() == (2 * KiB + 6 * KiB) / 2
+
+    def test_dead_bytes(self):
+        r = SetRegistry()
+        r.register(members(("a", 0, KiB), ("b", KiB, 3 * KiB)))
+        assert r.dead_bytes() == 0
+        r.mark_invalid("b")
+        assert r.dead_bytes() == 3 * KiB
+
+    def test_live_sets(self):
+        r = SetRegistry()
+        r.register(members(("a", 0, KiB)))
+        r.register(members(("b", KiB, KiB)))
+        assert len(r.live_sets()) == 2

@@ -1,0 +1,70 @@
+"""Tests for the skiplist."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import InvariantViolation
+from repro.lsm.skiplist import SkipList
+
+
+class TestSkipList:
+    def test_empty(self):
+        s = SkipList()
+        assert len(s) == 0
+        assert s.get(b"x") is None
+        assert list(s) == []
+
+    def test_insert_get(self):
+        s = SkipList()
+        s.insert(b"b", 2)
+        s.insert(b"a", 1)
+        s.insert(b"c", 3)
+        assert s.get(b"a") == 1
+        assert s.get(b"b") == 2
+        assert s.get(b"c") == 3
+        assert s.get(b"d") is None
+
+    def test_iteration_sorted(self):
+        s = SkipList()
+        for k in [b"m", b"a", b"z", b"f", b"q"]:
+            s.insert(k, k)
+        assert [k for k, _v in s] == [b"a", b"f", b"m", b"q", b"z"]
+
+    def test_duplicate_rejected(self):
+        s = SkipList()
+        s.insert(b"a", 1)
+        with pytest.raises(InvariantViolation):
+            s.insert(b"a", 2)
+
+    def test_seek(self):
+        s = SkipList()
+        for i in range(0, 20, 2):
+            s.insert(b"k%02d" % i, i)
+        assert [k for k, _ in s.seek(b"k05")][0] == b"k06"
+        assert [k for k, _ in s.seek(b"k06")][0] == b"k06"
+        assert list(s.seek(b"k99")) == []
+        assert [k for k, _ in s.seek(b"")][0] == b"k00"
+
+    def test_deterministic_with_seed(self):
+        a, b = SkipList(seed=42), SkipList(seed=42)
+        for i in range(200):
+            a.insert(i, i)
+            b.insert(i, i)
+        assert a._height == b._height
+
+    def test_tuple_keys(self):
+        s = SkipList()
+        s.insert((b"k", -5), "v5")
+        s.insert((b"k", -9), "v9")
+        assert [v for _k, v in s] == ["v9", "v5"]
+
+    @given(st.sets(st.integers(0, 10_000), max_size=300))
+    def test_matches_sorted_dict(self, keys):
+        s = SkipList(seed=1)
+        for k in keys:
+            s.insert(k, k * 2)
+        assert [k for k, _v in s] == sorted(keys)
+        assert len(s) == len(keys)
+        s.check_invariants()
+        for probe in list(keys)[:20]:
+            assert s.get(probe) == probe * 2

@@ -1,0 +1,91 @@
+"""Unit tests for drive stats and the WA/AWA/MWA tracker."""
+
+import pytest
+
+from repro.smr.stats import (
+    AmplificationTracker,
+    CATEGORY_TABLE,
+    CATEGORY_WAL,
+    DriveStats,
+    IORecord,
+)
+
+
+class TestDriveStats:
+    def test_read_write_counters(self):
+        s = DriveStats()
+        s.record_write(0, 100, 0.5, CATEGORY_TABLE, seeked=True, now=1.0)
+        s.record_read(0, 40, 0.2, CATEGORY_WAL, seeked=False, now=1.2)
+        assert s.bytes_written == 100
+        assert s.bytes_read == 40
+        assert s.write_ops == 1 and s.read_ops == 1
+        assert s.seeks == 1
+        assert s.busy_time == pytest.approx(0.7)
+        assert s.bytes_written_by_category[CATEGORY_TABLE] == 100
+        assert s.bytes_read_by_category[CATEGORY_WAL] == 40
+
+    def test_rmw_accounting(self):
+        s = DriveStats()
+        s.record_write(0, 500, 1.0, CATEGORY_TABLE, seeked=True, now=0.0,
+                       rmw=True)
+        assert s.rmw_count == 1
+        assert s.rmw_bytes == 500
+
+    def test_trace_disabled_by_default(self):
+        s = DriveStats()
+        s.record_write(0, 10, 0.1, "data", seeked=False, now=0.0)
+        assert s.trace is None
+
+    def test_trace_records_when_enabled(self):
+        s = DriveStats()
+        s.enable_trace()
+        s.record_write(64, 10, 0.1, "data", seeked=True, now=3.0)
+        s.record_read(0, 5, 0.1, "data", seeked=True, now=3.1)
+        assert len(s.trace) == 2
+        first = s.trace[0]
+        assert isinstance(first, IORecord)
+        assert first.offset == 64 and first.is_write
+
+    def test_enable_trace_idempotent(self):
+        s = DriveStats()
+        s.enable_trace()
+        s.record_write(0, 1, 0.0, "data", seeked=False, now=0.0)
+        s.enable_trace()   # must not clear
+        assert len(s.trace) == 1
+
+
+class TestAmplificationTracker:
+    def test_wa(self):
+        t = AmplificationTracker()
+        t.add_user_write(100)
+        t.add_lsm_write(150, is_flush=True)
+        t.add_lsm_write(350)
+        assert t.wa() == 5.0
+        assert t.flush_bytes == 150
+        assert t.compaction_bytes == 350
+
+    def test_awa_uses_table_category_only(self):
+        t = AmplificationTracker()
+        t.add_user_write(100)
+        t.add_lsm_write(200)
+        stats = DriveStats()
+        stats.record_write(0, 600, 0.1, CATEGORY_TABLE, seeked=False, now=0.0)
+        stats.record_write(0, 999, 0.1, CATEGORY_WAL, seeked=False, now=0.0)
+        assert t.awa(stats) == 3.0          # WAL bytes excluded
+        assert t.mwa(stats) == 6.0
+
+    def test_zero_division_guards(self):
+        t = AmplificationTracker()
+        stats = DriveStats()
+        assert t.wa() == 0.0
+        assert t.awa(stats) == 0.0
+        assert t.mwa(stats) == 0.0
+
+    def test_table_i_identity(self):
+        """MWA == WA * AWA, always (Table I)."""
+        t = AmplificationTracker()
+        t.add_user_write(123)
+        t.add_lsm_write(456)
+        stats = DriveStats()
+        stats.record_write(0, 789, 0.1, CATEGORY_TABLE, seeked=False, now=0.0)
+        assert t.mwa(stats) == pytest.approx(t.wa() * t.awa(stats))

@@ -1,0 +1,131 @@
+"""Tests for the disk timing model and Table II calibration."""
+
+import pytest
+
+from repro.smr.timing import (
+    DiskTimingModel,
+    DriveProfile,
+    HDD_PROFILE,
+    SMR_PROFILE,
+    SimClock,
+    MiB,
+)
+
+GiB = 1024 * MiB
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0.0
+
+    def test_advance(self):
+        clock = SimClock()
+        clock.advance(1.5)
+        clock.advance(0.5)
+        assert clock.now == pytest.approx(2.0)
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-1)
+
+
+def _model(profile=HDD_PROFILE, capacity=GiB):
+    return DiskTimingModel(profile=profile, capacity=capacity, clock=SimClock())
+
+
+class TestSeekModel:
+    def test_zero_distance_free(self):
+        assert _model().seek_time(0) == 0.0
+
+    def test_seek_grows_with_distance(self):
+        m = _model()
+        assert m.seek_time(MiB) < m.seek_time(100 * MiB) < m.seek_time(GiB)
+
+    def test_sequential_access_is_transfer_only(self):
+        m = _model()
+        m.access(0, MiB, is_write=False)
+        t0 = m.clock.now
+        elapsed = m.access(MiB, MiB, is_write=False)
+        assert elapsed == pytest.approx(MiB / HDD_PROFILE.seq_read_bps)
+        assert m.clock.now == pytest.approx(t0 + elapsed)
+
+    def test_random_access_pays_seek_and_rotation(self):
+        m = _model()
+        m.access(0, 4096, is_write=False)
+        elapsed = m.access(500 * MiB, 4096, is_write=False)
+        assert elapsed > HDD_PROFILE.half_rotation_s
+
+    def test_head_tracks_position(self):
+        m = _model()
+        m.access(100, 50, is_write=True)
+        assert m.head == 150
+
+
+class TestWriteCache:
+    def test_small_random_write_flat_cost(self):
+        m = _model(HDD_PROFILE)
+        m.access(0, 4096, is_write=True)
+        elapsed = m.access(700 * MiB, 4096, is_write=True)
+        assert elapsed == pytest.approx(HDD_PROFILE.cached_write_s)
+
+    def test_smr_profile_has_no_write_cache(self):
+        assert not SMR_PROFILE.write_cache
+
+
+class TestTableIICalibration:
+    """The model approximately reproduces the paper's Table II."""
+
+    def _random_read_iops(self, profile, capacity=GiB, samples=4000):
+        import numpy as np
+        m = _model(profile, capacity)
+        rng = np.random.default_rng(7)
+        offsets = rng.integers(0, capacity - 4096, size=samples)
+        start = m.clock.now
+        for off in offsets:
+            m.access(int(off), 4096, is_write=False)
+        return samples / (m.clock.now - start)
+
+    def test_hdd_random_read_near_64_iops(self):
+        iops = self._random_read_iops(HDD_PROFILE)
+        assert 50 <= iops <= 80
+
+    def test_smr_random_read_near_70_iops(self):
+        iops = self._random_read_iops(SMR_PROFILE)
+        assert 55 <= iops <= 88
+
+    def test_hdd_random_write_near_143_iops(self):
+        import numpy as np
+        m = _model(HDD_PROFILE)
+        rng = np.random.default_rng(3)
+        offsets = rng.integers(0, GiB - 4096, size=2000)
+        start = m.clock.now
+        for off in offsets:
+            m.access(int(off), 4096, is_write=True)
+        iops = 2000 / (m.clock.now - start)
+        assert 120 <= iops <= 160
+
+    def test_sequential_rates_match_profile(self):
+        m = _model(HDD_PROFILE)
+        m.access(0, 64 * MiB, is_write=False)
+        rate = 64 * MiB / m.clock.now
+        assert rate == pytest.approx(HDD_PROFILE.seq_read_bps, rel=0.01)
+
+
+class TestScaledProfile:
+    def test_rates_divided(self):
+        scaled = HDD_PROFILE.scaled(64)
+        assert scaled.seq_read_bps == pytest.approx(HDD_PROFILE.seq_read_bps / 64)
+        assert scaled.seq_write_bps == pytest.approx(HDD_PROFILE.seq_write_bps / 64)
+
+    def test_seek_times_unchanged(self):
+        scaled = HDD_PROFILE.scaled(64)
+        assert scaled.full_seek_s == HDD_PROFILE.full_seek_s
+        assert scaled.half_rotation_s == HDD_PROFILE.half_rotation_s
+
+    def test_cache_threshold_scaled(self):
+        scaled = HDD_PROFILE.scaled(64)
+        assert scaled.cache_threshold == HDD_PROFILE.cache_threshold // 64
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(ValueError):
+            HDD_PROFILE.scaled(0)

@@ -1,0 +1,113 @@
+"""Unit tests for the integer codecs."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import CorruptionError
+from repro.util.varint import (
+    decode_fixed32,
+    decode_fixed64,
+    decode_varint,
+    encode_fixed32,
+    encode_fixed64,
+    encode_varint,
+    get_length_prefixed,
+    put_length_prefixed,
+)
+
+
+class TestFixed:
+    def test_fixed32_roundtrip(self):
+        for value in (0, 1, 255, 0xDEADBEEF, 0xFFFFFFFF):
+            assert decode_fixed32(encode_fixed32(value)) == value
+
+    def test_fixed32_is_four_bytes(self):
+        assert len(encode_fixed32(0)) == 4
+        assert len(encode_fixed32(0xFFFFFFFF)) == 4
+
+    def test_fixed64_roundtrip(self):
+        for value in (0, 1, 2**32, 2**63, 2**64 - 1):
+            assert decode_fixed64(encode_fixed64(value)) == value
+
+    def test_fixed32_little_endian(self):
+        assert encode_fixed32(1) == b"\x01\x00\x00\x00"
+
+    def test_fixed_decode_at_offset(self):
+        buf = b"xx" + encode_fixed32(77) + encode_fixed64(88)
+        assert decode_fixed32(buf, 2) == 77
+        assert decode_fixed64(buf, 6) == 88
+
+    def test_truncated_fixed_raises(self):
+        with pytest.raises(CorruptionError):
+            decode_fixed32(b"\x01\x02")
+        with pytest.raises(CorruptionError):
+            decode_fixed64(b"\x01\x02\x03")
+
+
+class TestVarint:
+    def test_small_values_one_byte(self):
+        for value in range(128):
+            assert encode_varint(value) == bytes([value])
+
+    def test_roundtrip_boundaries(self):
+        for value in (0, 127, 128, 16383, 16384, 2**32, 2**63):
+            decoded, pos = decode_varint(encode_varint(value))
+            assert decoded == value
+            assert pos == len(encode_varint(value))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            encode_varint(-1)
+
+    def test_truncated_raises(self):
+        with pytest.raises(CorruptionError):
+            decode_varint(b"\x80\x80")
+
+    @given(st.integers(min_value=0, max_value=2**64 - 1))
+    def test_roundtrip_property(self, value):
+        decoded, _pos = decode_varint(encode_varint(value))
+        assert decoded == value
+
+    @given(st.lists(st.integers(min_value=0, max_value=2**40), max_size=20))
+    def test_stream_of_varints(self, values):
+        buf = b"".join(encode_varint(v) for v in values)
+        pos = 0
+        out = []
+        for _ in values:
+            value, pos = decode_varint(buf, pos)
+            out.append(value)
+        assert out == values
+        assert pos == len(buf)
+
+
+class TestLengthPrefixed:
+    def test_roundtrip(self):
+        out = bytearray()
+        put_length_prefixed(out, b"hello")
+        put_length_prefixed(out, b"")
+        put_length_prefixed(out, b"x" * 300)
+        data, pos = get_length_prefixed(bytes(out))
+        assert data == b"hello"
+        data, pos = get_length_prefixed(bytes(out), pos)
+        assert data == b""
+        data, pos = get_length_prefixed(bytes(out), pos)
+        assert data == b"x" * 300
+        assert pos == len(out)
+
+    def test_truncated_raises(self):
+        out = bytearray()
+        put_length_prefixed(out, b"hello")
+        with pytest.raises(CorruptionError):
+            get_length_prefixed(bytes(out[:-1]))
+
+    @given(st.lists(st.binary(max_size=64), max_size=10))
+    def test_roundtrip_property(self, blobs):
+        out = bytearray()
+        for blob in blobs:
+            put_length_prefixed(out, blob)
+        pos = 0
+        decoded = []
+        for _ in blobs:
+            blob, pos = get_length_prefixed(bytes(out), pos)
+            decoded.append(blob)
+        assert decoded == blobs

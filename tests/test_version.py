@@ -1,0 +1,165 @@
+"""Tests for versions, edits, and the version set."""
+
+import pytest
+
+from repro.errors import InvariantViolation
+from repro.lsm.ikey import InternalKey, TYPE_VALUE
+from repro.lsm.version import FileMetaData, Version, VersionEdit, VersionSet
+
+
+def ik(k: bytes, seq: int = 1) -> InternalKey:
+    return InternalKey(k, seq, TYPE_VALUE)
+
+
+def fmd(number, lo, hi, size=100, run=0):
+    return FileMetaData(number, size, ik(lo), ik(hi), entries=10, run=run)
+
+
+class TestFileMetaData:
+    def test_name(self):
+        assert fmd(7, b"a", b"b").name == "000007.sst"
+
+    def test_overlaps_user_range(self):
+        f = fmd(1, b"c", b"f")
+        assert f.overlaps_user_range(b"a", b"c")
+        assert f.overlaps_user_range(b"f", b"z")
+        assert f.overlaps_user_range(b"d", b"e")
+        assert not f.overlaps_user_range(b"a", b"b")
+        assert not f.overlaps_user_range(b"g", None)
+        assert f.overlaps_user_range(None, None)
+
+
+class TestVersion:
+    def _version(self):
+        v = Version(4)
+        edit = VersionEdit()
+        edit.add_file(0, fmd(10, b"a", b"m"))
+        edit.add_file(0, fmd(11, b"g", b"z"))
+        edit.add_file(1, fmd(5, b"a", b"f"))
+        edit.add_file(1, fmd(6, b"g", b"p"))
+        edit.add_file(1, fmd(7, b"q", b"z"))
+        edit.add_file(2, fmd(3, b"a", b"z", size=500))
+        return v.apply(edit)
+
+    def test_level_bytes(self):
+        v = self._version()
+        assert v.level_bytes(1) == 300
+        assert v.level_bytes(2) == 500
+        assert v.num_files() == 6
+
+    def test_sorted_levels_ordered_by_smallest(self):
+        v = self._version()
+        assert [f.number for f in v.files[1]] == [5, 6, 7]
+
+    def test_overlapping_files_l0_linear(self):
+        v = self._version()
+        assert {f.number for f in v.overlapping_files(0, b"h", b"h")} == {10, 11}
+
+    def test_overlapping_files_sorted_bisect(self):
+        v = self._version()
+        assert [f.number for f in v.overlapping_files(1, b"g", b"q")] == [6, 7]
+        assert [f.number for f in v.overlapping_files(1, b"fz", b"fz")] == []
+        assert [f.number for f in v.overlapping_files(1, None, None)] == [5, 6, 7]
+        assert [f.number for f in v.overlapping_files(1, b"r", None)] == [7]
+
+    def test_files_for_get_order(self):
+        v = self._version()
+        hits = v.files_for_get(b"h")
+        # L0 newest first (11 > 10), then L1, then L2
+        assert [(lvl, f.number) for lvl, f in hits] == [
+            (0, 11), (0, 10), (1, 6), (2, 3)]
+
+    def test_apply_delete(self):
+        v = self._version()
+        edit = VersionEdit()
+        edit.delete_file(1, 6)
+        v2 = v.apply(edit)
+        assert [f.number for f in v2.files[1]] == [5, 7]
+        # original untouched (immutability)
+        assert [f.number for f in v.files[1]] == [5, 6, 7]
+
+    def test_check_invariants_catches_overlap(self):
+        v = Version(3)
+        edit = VersionEdit()
+        edit.add_file(1, fmd(1, b"a", b"m"))
+        edit.add_file(1, fmd(2, b"k", b"z"))
+        v2 = v.apply(edit)
+        with pytest.raises(InvariantViolation):
+            v2.check_invariants()
+
+    def test_check_invariants_catches_duplicate_number(self):
+        v = Version(3)
+        edit = VersionEdit()
+        edit.add_file(0, fmd(1, b"a", b"b"))
+        edit.add_file(1, fmd(1, b"c", b"d"))
+        v2 = v.apply(edit)
+        with pytest.raises(InvariantViolation):
+            v2.check_invariants()
+
+    def test_tiered_last_level_allows_overlap(self):
+        v = Version(2, tiered=True)
+        edit = VersionEdit()
+        edit.add_file(1, fmd(1, b"a", b"m", run=1))
+        edit.add_file(1, fmd(2, b"k", b"z", run=2))
+        v2 = v.apply(edit)
+        v2.check_invariants()  # no violation
+        hits = v2.files_for_get(b"l")
+        assert [f.number for _lvl, f in hits] == [2, 1]  # newest first
+
+
+class TestVersionEditSerialization:
+    def test_roundtrip(self):
+        edit = VersionEdit()
+        edit.add_file(2, fmd(9, b"aa", b"zz", size=1234, run=5))
+        edit.delete_file(1, 4)
+        edit.next_file_number = 42
+        edit.last_sequence = 999
+        decoded = VersionEdit.deserialize(edit.serialize())
+        assert decoded.next_file_number == 42
+        assert decoded.last_sequence == 999
+        assert decoded.deleted == [(1, 4)]
+        level, meta = decoded.added[0]
+        assert level == 2
+        assert meta.number == 9 and meta.size == 1234 and meta.run == 5
+        assert meta.smallest.user_key == b"aa"
+
+    def test_empty_edit(self):
+        decoded = VersionEdit.deserialize(VersionEdit().serialize())
+        assert decoded.added == [] and decoded.deleted == []
+
+
+class TestVersionSet:
+    def test_file_numbers_monotonic(self):
+        vs = VersionSet(3)
+        assert vs.new_file_number() == 1
+        assert vs.new_file_number() == 2
+        assert vs.next_file_number == 3
+
+    def test_log_and_apply_updates_current(self):
+        vs = VersionSet(3)
+        edit = VersionEdit()
+        edit.add_file(0, fmd(1, b"a", b"b"))
+        vs.log_and_apply(edit)
+        assert vs.current.num_files() == 1
+
+    def test_serialize_roundtrip(self):
+        vs = VersionSet(3)
+        vs.next_file_number = 10
+        vs.last_sequence = 77
+        vs.compact_pointer[1] = b"kkk"
+        edit = VersionEdit()
+        edit.add_file(0, fmd(1, b"a", b"b"))
+        edit.add_file(2, fmd(2, b"c", b"d", size=55, run=2))
+        vs.log_and_apply(edit)
+        restored = VersionSet.deserialize(vs.serialize())
+        assert restored.next_file_number == 10
+        assert restored.last_sequence == 77
+        assert restored.compact_pointer[1] == b"kkk"
+        assert restored.current.num_files() == 2
+        f = restored.current.files[2][0]
+        assert (f.number, f.size, f.run) == (2, 55, 2)
+
+    def test_tiered_preserved_through_deserialize(self):
+        vs = VersionSet(2, tiered=True)
+        restored = VersionSet.deserialize(vs.serialize(), tiered=True)
+        assert restored.current.tiered

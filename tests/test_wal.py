@@ -1,0 +1,110 @@
+"""Tests for the write-ahead log framing and WriteBatch."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import CorruptionError
+from repro.lsm.wal import LogWriter, WriteBatch, read_log_records, HEADER_SIZE
+
+
+class _Sink:
+    def __init__(self):
+        self.data = bytearray()
+
+    def __call__(self, chunk: bytes) -> None:
+        self.data += chunk
+
+
+class TestWriteBatch:
+    def test_put_delete_roundtrip(self):
+        b = WriteBatch().put(b"k1", b"v1").delete(b"k2").put(b"k3", b"v3")
+        seq, decoded = WriteBatch.deserialize(b.serialize(100))
+        assert seq == 100
+        assert decoded.ops == b.ops
+
+    def test_byte_size(self):
+        b = WriteBatch().put(b"abc", b"defgh")
+        assert b.byte_size() == 8
+
+    def test_empty_batch(self):
+        seq, decoded = WriteBatch.deserialize(WriteBatch().serialize(5))
+        assert seq == 5
+        assert len(decoded) == 0
+
+    def test_truncated_raises(self):
+        blob = WriteBatch().put(b"key", b"value").serialize(1)
+        with pytest.raises(CorruptionError):
+            WriteBatch.deserialize(blob[:-2])
+
+    @given(st.lists(st.tuples(st.booleans(), st.binary(min_size=1, max_size=20),
+                              st.binary(max_size=40)), max_size=20),
+           st.integers(0, 2**40))
+    def test_roundtrip_property(self, ops, seq):
+        b = WriteBatch()
+        for is_put, key, value in ops:
+            if is_put:
+                b.put(key, value)
+            else:
+                b.delete(key)
+        seq2, decoded = WriteBatch.deserialize(b.serialize(seq))
+        assert seq2 == seq
+        assert decoded.ops == b.ops
+
+
+class TestLogFraming:
+    def _roundtrip(self, payloads, block_size=128):
+        sink = _Sink()
+        w = LogWriter(sink, block_size=block_size)
+        for p in payloads:
+            w.add_record(p)
+        return list(read_log_records(bytes(sink.data), block_size=block_size))
+
+    def test_single_record(self):
+        assert self._roundtrip([b"hello"]) == [b"hello"]
+
+    def test_record_spanning_blocks(self):
+        payload = b"x" * 500  # much larger than the 128-byte block
+        assert self._roundtrip([payload]) == [payload]
+
+    def test_many_records(self):
+        payloads = [b"rec%d" % i * (i + 1) for i in range(20)]
+        assert self._roundtrip(payloads) == payloads
+
+    def test_empty_record(self):
+        assert self._roundtrip([b""]) == [b""]
+
+    def test_block_tail_padding(self):
+        # records sized so that a block tail < HEADER_SIZE remains
+        sink = _Sink()
+        w = LogWriter(sink, block_size=64)
+        first = b"a" * (64 - HEADER_SIZE - 3)  # leaves 3 bytes in the block
+        w.add_record(first)
+        w.add_record(b"second")
+        records = list(read_log_records(bytes(sink.data), block_size=64))
+        assert records == [first, b"second"]
+
+    def test_truncated_tail_tolerated(self):
+        sink = _Sink()
+        w = LogWriter(sink, block_size=128)
+        w.add_record(b"complete")
+        w.add_record(b"will-be-truncated" * 3)
+        data = bytes(sink.data[: len(sink.data) - 10])
+        assert list(read_log_records(data, block_size=128)) == [b"complete"]
+
+    def test_corrupt_crc_raises(self):
+        sink = _Sink()
+        LogWriter(sink, block_size=128).add_record(b"payload")
+        data = bytearray(sink.data)
+        data[HEADER_SIZE] ^= 0xFF
+        with pytest.raises(CorruptionError):
+            list(read_log_records(bytes(data), block_size=128))
+
+    def test_bad_block_size_rejected(self):
+        with pytest.raises(ValueError):
+            LogWriter(_Sink(), block_size=4)
+
+    @settings(max_examples=50)
+    @given(st.lists(st.binary(max_size=300), max_size=15),
+           st.sampled_from([64, 128, 1024, 32 * 1024]))
+    def test_roundtrip_property(self, payloads, block_size):
+        assert self._roundtrip(payloads, block_size) == payloads
