@@ -30,6 +30,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import faults
 from repro.errors import AllocationError, InvariantViolation
 from repro.core.freespace import FreeSpaceList
 from repro.smr.extent import Extent, ExtentMap
@@ -74,6 +75,7 @@ class DynamicBandManager:
         """Reserve ``nbytes`` of safe-to-write space; returns its offset."""
         if nbytes <= 0:
             raise ValueError("allocation size must be positive")
+        faults.trip(faults.FREESPACE_ALLOC, self.drive.clock)
         region = self.free_list.allocate(nbytes + self.guard_size)
         if region is not None:
             offset = region.start

@@ -44,7 +44,7 @@ class DynamicBandStorage(Storage):
                    category: str = CATEGORY_TABLE) -> None:
         self.write_files([(name, data)], category)
 
-    def write_files(self, files, category: str = CATEGORY_TABLE) -> None:
+    def _write_files(self, files, category: str = CATEGORY_TABLE) -> None:
         if not files:
             return
         for name, _data in files:
@@ -54,12 +54,20 @@ class DynamicBandStorage(Storage):
         offset = self.manager.allocate(total)
         members: list[tuple[str, Extent]] = []
         cursor = offset
-        for name, data in files:
-            self.drive.write(cursor, data, category=category)
-            extent = Extent(cursor, cursor + len(data))
-            self._files[name] = extent
-            members.append((name, extent))
-            cursor += len(data)
+        try:
+            for name, data in files:
+                self.drive.write(cursor, data, category=category)
+                extent = Extent(cursor, cursor + len(data))
+                self._files[name] = extent
+                members.append((name, extent))
+                cursor += len(data)
+        except BaseException:
+            # A crash mid-set leaves no set: undo the allocation so the
+            # free-space accounting matches the (empty) registration.
+            for name, _extent in members:
+                del self._files[name]
+            self.manager.free(offset, total)
+            raise
         self.sets.register(members, created_at=self.drive.now)
 
     def read_file(self, name: str, offset: int, length: int,

@@ -74,3 +74,17 @@ class NotFoundError(ReproError):
 
 class InvariantViolation(ReproError):
     """An internal data-structure invariant was broken (indicates a bug)."""
+
+
+class InjectedCrash(ReproError):
+    """The simulated power failure raised by an armed failpoint.
+
+    Everything already on the simulated drive survives; the in-flight
+    operation is abandoned mid-way.  Crash tests catch this, then rebuild
+    the engine with :meth:`repro.lsm.db.DB.recover` and verify the store
+    came back consistent.
+    """
+
+
+class FailpointError(ReproError):
+    """A failpoint was armed with an unknown name or a bad configuration."""

@@ -1,0 +1,101 @@
+"""First-class fault injection for the SEALDB reproduction.
+
+The storage stack carries named *failpoints* -- hooks at every spot
+where a real system can lose power or tear a write: WAL appends,
+manifest records, table-group placement, raw drive writes, free-space
+allocation, and the flush/compaction install steps.  Tests and the
+:mod:`repro.harness.crashsweep` harness arm them with deterministic
+triggers and actions, crash the engine mid-operation, and verify that
+:meth:`repro.lsm.db.DB.recover` restores a consistent store.
+
+Quick use::
+
+    from repro import faults
+
+    faults.arm(faults.WAL_APPEND, "torn", at=3, seed=7)
+    try:
+        run_workload(db)
+    except faults.InjectedCrash:
+        pass
+    faults.reset()
+    recovered = DB.recover(db.storage, db.options)
+
+See :mod:`repro.faults.registry` for the full API.
+"""
+
+from repro.errors import FailpointError, InjectedCrash
+from repro.faults.actions import (
+    Action,
+    CorruptAction,
+    CrashAction,
+    DelayAction,
+    Injection,
+    TornWriteAction,
+)
+from repro.faults.registry import (
+    COMPACTION_INSTALL,
+    DRIVE_WRITE,
+    FLUSH_INSTALL,
+    FREESPACE_ALLOC,
+    KNOWN_POINTS,
+    MANIFEST_LOG,
+    STORAGE_WRITE_FILES,
+    WAL_APPEND,
+    AfterN,
+    EveryNth,
+    Failpoint,
+    OnHit,
+    Trigger,
+    WithProbability,
+    arm,
+    armed_points,
+    counting,
+    disarm,
+    fire,
+    get,
+    hit_counts,
+    injected,
+    is_armed,
+    known_points,
+    register_point,
+    reset,
+    trip,
+)
+
+__all__ = [
+    "Action",
+    "AfterN",
+    "COMPACTION_INSTALL",
+    "CorruptAction",
+    "CrashAction",
+    "DRIVE_WRITE",
+    "DelayAction",
+    "EveryNth",
+    "FLUSH_INSTALL",
+    "FREESPACE_ALLOC",
+    "Failpoint",
+    "FailpointError",
+    "InjectedCrash",
+    "Injection",
+    "KNOWN_POINTS",
+    "MANIFEST_LOG",
+    "OnHit",
+    "STORAGE_WRITE_FILES",
+    "TornWriteAction",
+    "Trigger",
+    "WAL_APPEND",
+    "WithProbability",
+    "arm",
+    "armed_points",
+    "counting",
+    "disarm",
+    "fire",
+    "get",
+    "hit_counts",
+    "injected",
+    "is_armed",
+    "known_points",
+    "register_point",
+    "reset",
+    "trip",
+]

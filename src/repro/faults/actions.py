@@ -1,0 +1,164 @@
+"""What an armed failpoint does when its trigger fires.
+
+Actions model the distinct ways a storage stack can fail mid-operation:
+
+* ``crash`` -- power failure *before* the operation takes effect;
+* ``crash-after`` -- power failure immediately *after* the operation
+  completed (e.g. a compaction edit that was persisted but whose
+  follow-up cleanup never ran);
+* ``torn`` -- a partial (torn) write: a seeded prefix of the payload
+  reaches the medium, then the power fails;
+* ``corrupt`` -- bit-flip corruption of the payload in flight
+  (optionally followed by a crash);
+* ``delay`` -- a stall: the simulated clock advances, nothing fails.
+
+The call-site protocol is deliberately tiny.  ``registry.fire`` returns
+``None`` on the fast path; when a failpoint triggers it either raises
+:class:`~repro.errors.InjectedCrash` directly (``crash``) or returns an
+:class:`Injection` the site threads through its operation::
+
+    inj = faults.fire(faults.DRIVE_WRITE, data=data)
+    if inj is not None:
+        data = inj.mutate_bytes(data)   # torn / corrupt payloads
+    ... perform the (possibly partial) operation ...
+    if inj is not None:
+        inj.finish()                    # raises for crash-after / torn
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import FailpointError, InjectedCrash
+
+
+class Injection:
+    """One triggered failpoint, handed back to the call site.
+
+    The site applies :meth:`mutate_bytes` (or :meth:`keep_units` for
+    group-granularity operations) to its payload, performs the mutated
+    operation, then calls :meth:`finish`, which raises
+    :class:`InjectedCrash` when the action crashes after the partial
+    effect is on the medium.
+    """
+
+    __slots__ = ("point", "hit", "fraction", "flips", "crash_after")
+
+    def __init__(self, point: str, hit: int, *, fraction: float | None = None,
+                 flips: list[int] | None = None,
+                 crash_after: bool = False) -> None:
+        self.point = point
+        self.hit = hit
+        self.fraction = fraction
+        self.flips = flips
+        self.crash_after = crash_after
+
+    def mutate_bytes(self, data: bytes) -> bytes:
+        """The payload as it reaches the medium (truncated / corrupted)."""
+        if self.fraction is not None and data:
+            keep = min(len(data) - 1, int(len(data) * self.fraction))
+            data = data[: max(0, keep)]
+        if self.flips and data:
+            buf = bytearray(data)
+            for position in self.flips:
+                buf[position % len(buf)] ^= 0xFF
+            data = bytes(buf)
+        return data
+
+    def keep_units(self, units: int) -> int:
+        """How many whole units of a grouped operation land (torn group)."""
+        if self.fraction is None or units <= 0:
+            return units
+        return min(units - 1, int(units * self.fraction))
+
+    def finish(self) -> None:
+        """Raise the deferred crash, if this action carries one."""
+        if self.crash_after:
+            raise InjectedCrash(
+                f"injected crash after partial effect at "
+                f"{self.point!r} (hit {self.hit})"
+            )
+
+
+class Action:
+    """Base class: decides what happens when a trigger fires."""
+
+    label = "action"
+
+    def on_fire(self, point: str, hit: int, *, data: bytes | None,
+                units: int | None, clock) -> Injection | None:
+        raise NotImplementedError
+
+
+class CrashAction(Action):
+    """Raise :class:`InjectedCrash` before (or just after) the operation."""
+
+    def __init__(self, after: bool = False) -> None:
+        self.after = after
+        self.label = "crash-after" if after else "crash"
+
+    def on_fire(self, point, hit, *, data, units, clock):
+        if self.after:
+            return Injection(point, hit, crash_after=True)
+        raise InjectedCrash(f"injected crash at {point!r} (hit {hit})")
+
+
+class TornWriteAction(Action):
+    """A prefix of the payload lands, then the power fails.
+
+    The prefix length is a fixed ``fraction`` of the payload or, when
+    None, drawn from the action's seeded RNG -- deterministic for a
+    given (seed, trigger sequence).  At a site with no payload the
+    action degrades to a plain crash.
+    """
+
+    label = "torn"
+
+    def __init__(self, fraction: float | None = None, seed: int = 0) -> None:
+        if fraction is not None and not 0.0 <= fraction <= 1.0:
+            raise FailpointError(f"torn fraction must be in [0, 1], got {fraction}")
+        self.fraction = fraction
+        self._rng = random.Random(seed)
+
+    def on_fire(self, point, hit, *, data, units, clock):
+        if data is None and units is None:
+            raise InjectedCrash(f"injected crash at {point!r} (hit {hit})")
+        fraction = self.fraction if self.fraction is not None else self._rng.random()
+        return Injection(point, hit, fraction=fraction, crash_after=True)
+
+
+class CorruptAction(Action):
+    """Flip ``nbytes`` seeded byte positions of the payload in flight."""
+
+    label = "corrupt"
+
+    def __init__(self, nbytes: int = 1, seed: int = 0, crash: bool = False) -> None:
+        if nbytes <= 0:
+            raise FailpointError(f"corrupt nbytes must be positive, got {nbytes}")
+        self.nbytes = nbytes
+        self.crash = crash
+        self._rng = random.Random(seed)
+
+    def on_fire(self, point, hit, *, data, units, clock):
+        if data is None:
+            if self.crash:
+                raise InjectedCrash(f"injected crash at {point!r} (hit {hit})")
+            return None
+        flips = [self._rng.randrange(1 << 30) for _ in range(self.nbytes)]
+        return Injection(point, hit, flips=flips, crash_after=self.crash)
+
+
+class DelayAction(Action):
+    """Advance the simulated clock: a stalled device, not a failure."""
+
+    label = "delay"
+
+    def __init__(self, seconds: float) -> None:
+        if seconds < 0:
+            raise FailpointError(f"delay must be non-negative, got {seconds}")
+        self.seconds = seconds
+
+    def on_fire(self, point, hit, *, data, units, clock):
+        if clock is not None:
+            clock.advance(self.seconds)
+        return None

@@ -1,0 +1,317 @@
+"""Deterministic failpoint registry.
+
+A *failpoint* is a named hook compiled into the storage stack's hot
+paths (``faults.fire(name, ...)``).  Disarmed -- the default -- a fire
+is one function call that checks an empty dict and returns ``None``, so
+the hooks cost no behaviour change and effectively no time.  Armed, the
+failpoint counts hits, consults its trigger, and executes its action:
+raise :class:`~repro.errors.InjectedCrash`, tear or corrupt the payload,
+or stall the simulated clock (see :mod:`repro.faults.actions`).
+
+Triggers are deterministic so every crash point is replayable:
+
+* ``at=N`` -- fire on exactly the N-th hit (1-based); the crash
+  sweeper's workhorse;
+* ``after=N`` -- fire on every hit past the first N;
+* ``every=N`` -- fire on every N-th hit;
+* ``probability=p, seed=s`` -- seeded Bernoulli draw per hit.
+
+The registry is process-global (the simulator is single-threaded);
+tests isolate themselves with :func:`reset` -- the test suite does this
+automatically around every test.
+"""
+
+from __future__ import annotations
+
+import random
+from contextlib import contextmanager
+
+from repro.errors import FailpointError
+from repro.faults.actions import (
+    Action,
+    CorruptAction,
+    CrashAction,
+    DelayAction,
+    Injection,
+    TornWriteAction,
+)
+
+# -- canonical injection points ------------------------------------------
+
+#: a framed record blob entering the write-ahead log
+WAL_APPEND = "wal.append"
+#: a version edit / snapshot record entering the manifest log
+MANIFEST_LOG = "manifest.log"
+#: a group of table files (one flush or compaction output) being placed
+STORAGE_WRITE_FILES = "storage.write_files"
+#: any write reaching a simulated drive (table data, WAL, manifest)
+DRIVE_WRITE = "drive.write"
+#: a free-space allocation (dynamic-band free list or ext4 allocator)
+FREESPACE_ALLOC = "freespace.alloc"
+#: the instant a compaction's version edit is about to be installed
+COMPACTION_INSTALL = "compaction.install"
+#: the instant a flush's version edit is about to be installed
+FLUSH_INSTALL = "flush.install"
+
+KNOWN_POINTS = frozenset({
+    WAL_APPEND,
+    MANIFEST_LOG,
+    STORAGE_WRITE_FILES,
+    DRIVE_WRITE,
+    FREESPACE_ALLOC,
+    COMPACTION_INSTALL,
+    FLUSH_INSTALL,
+})
+
+_extra_points: set[str] = set()
+
+
+def register_point(name: str) -> None:
+    """Declare a new failpoint name (for future subsystems and tests)."""
+    if not name:
+        raise FailpointError("failpoint name must be non-empty")
+    _extra_points.add(name)
+
+
+def known_points() -> frozenset[str]:
+    """Every name currently accepted by :func:`arm`."""
+    return KNOWN_POINTS | frozenset(_extra_points)
+
+
+# -- triggers ------------------------------------------------------------
+
+
+class Trigger:
+    """Decides, per hit (1-based), whether the action executes."""
+
+    def should_fire(self, hit: int) -> bool:
+        raise NotImplementedError
+
+
+class OnHit(Trigger):
+    """Fire on exactly the ``n``-th hit."""
+
+    def __init__(self, n: int) -> None:
+        if n < 1:
+            raise FailpointError(f"at= must be >= 1, got {n}")
+        self.n = n
+
+    def should_fire(self, hit: int) -> bool:
+        return hit == self.n
+
+
+class AfterN(Trigger):
+    """Fire on every hit after the first ``n``."""
+
+    def __init__(self, n: int) -> None:
+        if n < 0:
+            raise FailpointError(f"after= must be >= 0, got {n}")
+        self.n = n
+
+    def should_fire(self, hit: int) -> bool:
+        return hit > self.n
+
+
+class EveryNth(Trigger):
+    """Fire on every ``n``-th hit (hits n, 2n, 3n, ...)."""
+
+    def __init__(self, n: int) -> None:
+        if n < 1:
+            raise FailpointError(f"every= must be >= 1, got {n}")
+        self.n = n
+
+    def should_fire(self, hit: int) -> bool:
+        return hit % self.n == 0
+
+
+class WithProbability(Trigger):
+    """Seeded Bernoulli draw per hit -- deterministic for a given seed."""
+
+    def __init__(self, p: float, seed: int = 0) -> None:
+        if not 0.0 <= p <= 1.0:
+            raise FailpointError(f"probability must be in [0, 1], got {p}")
+        self.p = p
+        self._rng = random.Random(seed)
+
+    def should_fire(self, hit: int) -> bool:
+        return self._rng.random() < self.p
+
+
+# -- the registry --------------------------------------------------------
+
+
+class Failpoint:
+    """One armed injection point: trigger + action + hit bookkeeping."""
+
+    __slots__ = ("name", "trigger", "action", "times", "hits", "fired")
+
+    def __init__(self, name: str, trigger: Trigger, action: Action,
+                 times: int | None = None) -> None:
+        self.name = name
+        self.trigger = trigger
+        self.action = action
+        self.times = times
+        #: how often this point was reached while armed
+        self.hits = 0
+        #: how often the action actually executed
+        self.fired = 0
+
+    def __repr__(self) -> str:
+        return (f"Failpoint({self.name!r}, action={self.action.label}, "
+                f"hits={self.hits}, fired={self.fired})")
+
+
+_armed: dict[str, Failpoint] = {}
+_counting = False
+_counts: dict[str, int] = {}
+
+
+def fire(name: str, *, data: bytes | None = None, units: int | None = None,
+         clock=None) -> Injection | None:
+    """The hook compiled into every instrumented call site.
+
+    Fast path (nothing armed, not counting): one dict truthiness check.
+    Returns ``None`` (proceed normally) or an :class:`Injection` the
+    site must thread through its operation; may raise
+    :class:`~repro.errors.InjectedCrash` directly.
+    """
+    if not _armed and not _counting:
+        return None
+    if _counting:
+        _counts[name] = _counts.get(name, 0) + 1
+    fp = _armed.get(name)
+    if fp is None:
+        return None
+    fp.hits += 1
+    if fp.times is not None and fp.fired >= fp.times:
+        return None
+    if not fp.trigger.should_fire(fp.hits):
+        return None
+    fp.fired += 1
+    return fp.action.on_fire(name, fp.hits, data=data, units=units, clock=clock)
+
+
+def trip(name: str, clock=None) -> None:
+    """Fire-and-finish for sites with no payload (install points)."""
+    inj = fire(name, clock=clock)
+    if inj is not None:
+        inj.finish()
+
+
+def _make_trigger(at, after, every, probability, seed) -> Trigger:
+    chosen = [kw for kw, value in
+              (("at", at), ("after", after), ("every", every),
+               ("probability", probability)) if value is not None]
+    if len(chosen) > 1:
+        raise FailpointError(f"choose one trigger, got {chosen}")
+    if at is not None:
+        return OnHit(at)
+    if every is not None:
+        return EveryNth(every)
+    if probability is not None:
+        return WithProbability(probability, seed)
+    return AfterN(after if after is not None else 0)
+
+
+def _make_action(action, *, seed, fraction, flip_bytes, delay, crash) -> Action:
+    if isinstance(action, Action):
+        return action
+    if action == "crash":
+        return CrashAction(after=False)
+    if action == "crash-after":
+        return CrashAction(after=True)
+    if action == "torn":
+        return TornWriteAction(fraction=fraction, seed=seed)
+    if action == "corrupt":
+        return CorruptAction(nbytes=flip_bytes, seed=seed, crash=bool(crash))
+    if action == "delay":
+        return DelayAction(delay if delay is not None else 1e-3)
+    raise FailpointError(f"unknown action {action!r}")
+
+
+def arm(name: str, action: str | Action = "crash", *,
+        at: int | None = None, after: int | None = None,
+        every: int | None = None, probability: float | None = None,
+        seed: int = 0, times: int | None = None,
+        fraction: float | None = None, flip_bytes: int = 1,
+        delay: float | None = None, crash: bool = False) -> Failpoint:
+    """Arm ``name`` with a trigger and an action; returns the failpoint.
+
+    Exactly one of ``at`` / ``after`` / ``every`` / ``probability``
+    selects the trigger (default: fire on every hit).  ``times`` caps
+    how often the action may execute.  Re-arming a name replaces the
+    previous failpoint.
+    """
+    if name not in KNOWN_POINTS and name not in _extra_points:
+        raise FailpointError(
+            f"unknown failpoint {name!r}; known: {sorted(known_points())} "
+            f"(use register_point() for new ones)"
+        )
+    trigger = _make_trigger(at, after, every, probability, seed)
+    act = _make_action(action, seed=seed, fraction=fraction,
+                       flip_bytes=flip_bytes, delay=delay, crash=crash)
+    fp = Failpoint(name, trigger, act, times)
+    _armed[name] = fp
+    return fp
+
+
+def disarm(name: str) -> None:
+    """Disarm ``name`` (a no-op when it is not armed)."""
+    _armed.pop(name, None)
+
+
+def reset() -> None:
+    """Disarm everything and stop counting -- restore the clean slate."""
+    global _counting
+    _armed.clear()
+    _counting = False
+    _counts.clear()
+
+
+def is_armed(name: str) -> bool:
+    return name in _armed
+
+
+def armed_points() -> list[str]:
+    return sorted(_armed)
+
+
+def get(name: str) -> Failpoint | None:
+    """The armed failpoint for ``name`` (to inspect hit counters)."""
+    return _armed.get(name)
+
+
+def hit_counts() -> dict[str, int]:
+    """Snapshot of the counters gathered inside :func:`counting`."""
+    return dict(_counts)
+
+
+@contextmanager
+def counting():
+    """Count every fire per failpoint name without arming anything.
+
+    The crash sweeper runs its workload once under this context to learn
+    how many hits each failpoint receives, then sweeps hit 1..N::
+
+        with faults.counting() as counts:
+            run_workload()
+        # counts == {"wal.append": 812, "drive.write": 1375, ...}
+    """
+    global _counting
+    _counts.clear()
+    _counting = True
+    try:
+        yield _counts
+    finally:
+        _counting = False
+
+
+@contextmanager
+def injected(name: str, action: str | Action = "crash", **kwargs):
+    """Arm ``name`` for the duration of a ``with`` block, then disarm."""
+    fp = arm(name, action, **kwargs)
+    try:
+        yield fp
+    finally:
+        if _armed.get(name) is fp:
+            disarm(name)

@@ -19,6 +19,7 @@ multiple extents, like ext4 extent trees.
 
 from __future__ import annotations
 
+from repro import faults
 from repro.errors import AllocationError, FileNotFoundStorageError, StorageError
 from repro.smr.drive import Drive
 from repro.smr.extent import Extent, ExtentMap
@@ -60,6 +61,7 @@ class Ext4Allocator:
         hold the whole request (used by the "LevelDB + sets" ablation to
         keep compaction outputs physically adjacent).
         """
+        faults.trip(faults.FREESPACE_ALLOC)
         need = self._round_up(nbytes)
         run = self._find_run(need)
         if run is not None:
@@ -142,7 +144,13 @@ class Ext4Storage(Storage):
             raise StorageError(f"object {name!r} already exists")
         extents = self.allocator.allocate(len(data))
         self.drive.charge_metadata_op()  # inode + bitmap + journal
-        self._write_extents(extents, data, category)
+        try:
+            self._write_extents(extents, data, category)
+        except BaseException:
+            # The journal never committed the file: its blocks go back
+            # to the bitmap, as ext4 replay would leave them.
+            self.allocator.release(extents)
+            raise
         self._files[name] = (extents, len(data))
 
     # Streaming note: ext4 uses *delayed allocation* -- the page cache
@@ -152,24 +160,37 @@ class Ext4Storage(Storage):
     # exactly that; device-level interleave with compaction reads is at
     # file granularity, as with real writeback bursts.
 
-    def write_files(self, files, category: str = CATEGORY_TABLE) -> None:
+    def _write_files(self, files, category: str = CATEGORY_TABLE) -> None:
         if not self.contiguous_groups or not files:
-            super().write_files(files, category)
+            super()._write_files(files, category)
             return
         total = sum(len(data) for _name, data in files)
         try:
             run = self.allocator.allocate(total, contiguous=True)
         except AllocationError:
-            super().write_files(files, category)
+            super()._write_files(files, category)
             return
         cursor = run[0].start
-        for name, data in files:
-            if name in self._files:
-                raise StorageError(f"object {name!r} already exists")
-            self.drive.charge_metadata_op()
-            self.drive.write(cursor, data, category=category)
-            self._files[name] = ([Extent(cursor, cursor + len(data))], len(data))
-            cursor += len(data)
+        written: list[str] = []
+        try:
+            for name, data in files:
+                if name in self._files:
+                    raise StorageError(f"object {name!r} already exists")
+                self.drive.charge_metadata_op()
+                self.drive.write(cursor, data, category=category)
+                self._files[name] = ([Extent(cursor, cursor + len(data))],
+                                     len(data))
+                written.append(name)
+                cursor += len(data)
+        except BaseException:
+            # Uncommitted journal transaction: the whole run returns to
+            # the bitmap, including files already placed in it.
+            for name in written:
+                extents, _size = self._files.pop(name)
+                self.allocator.release(extents)
+            if cursor < run[0].end:
+                self.allocator.release([Extent(cursor, run[0].end)])
+            raise
         # Any rounding slack at the tail of the run goes back to the pool.
         if cursor < run[0].end:
             self.allocator.release([Extent(cursor, run[0].end)])

@@ -17,6 +17,7 @@ import zlib
 from abc import ABC, abstractmethod
 from typing import Sequence
 
+from repro import faults
 from repro.errors import (
     AllocationError,
     FileNotFoundStorageError,
@@ -82,7 +83,20 @@ class Storage(ABC):
         self.region_gap = region_gap
         self.wal = LogRegion(drive, 0, wal_size, CATEGORY_WAL)
         meta_start = wal_size + region_gap
-        self.meta_region = LogRegion(drive, meta_start, meta_size, CATEGORY_META)
+        # The manifest area is split into two half-size slots so a
+        # rollover (reset + fresh snapshot) never destroys the only
+        # copy: the old slot stays intact until the new one holds a
+        # generation header *and* a snapshot.
+        half = meta_size // 2
+        if half <= 0:
+            raise StorageError(f"meta region too small to slot: {meta_size}")
+        self._meta_slots = [
+            LogRegion(drive, meta_start, half, CATEGORY_META),
+            LogRegion(drive, meta_start + half, meta_size - half, CATEGORY_META),
+        ]
+        self._active_meta = 0
+        self._meta_generation = 1
+        self._meta_damaged = False
         #: first byte available for table data
         self.data_start = meta_start + meta_size + region_gap
 
@@ -105,40 +119,149 @@ class Storage(ABC):
     #: meta record kinds
     META_SNAPSHOT = 1
     META_EDIT = 2
+    #: slot generation header, written by :meth:`reset_meta`
+    META_OPEN = 3
 
-    def append_meta_record(self, kind: int, payload: bytes) -> None:
-        """Append one framed record to the metadata log.
+    @property
+    def meta_region(self) -> LogRegion:
+        """The active manifest slot (see the two-slot rollover scheme)."""
+        return self._meta_slots[self._active_meta]
 
-        Raises :class:`AllocationError` when the region is full; the
-        caller then writes a fresh snapshot via :meth:`reset_meta`.
-        """
+    @staticmethod
+    def _meta_frame(kind: int, payload: bytes) -> bytes:
         frame = bytearray([kind])
         frame += len(payload).to_bytes(4, "little")
         frame += zlib.crc32(payload).to_bytes(4, "little")
         frame += payload
-        self.meta_region.append(bytes(frame))
+        return bytes(frame)
 
-    def read_meta_records(self) -> list[tuple[int, bytes]]:
-        """All records appended since the last reset, in order."""
-        data = self.meta_region.read_all()
+    def _append_meta_frame(self, slot: LogRegion, kind: int,
+                           payload: bytes) -> None:
+        """Frame and append one record, threading the ``manifest.log``
+        failpoint (a torn action appends only a prefix of the frame)."""
+        frame = self._meta_frame(kind, payload)
+        if slot.tail + len(frame) > slot.start + slot.size:
+            raise AllocationError(
+                f"meta slot overflow: {len(frame)} bytes at tail {slot.tail}, "
+                f"slot ends at {slot.start + slot.size}"
+            )
+        inj = faults.fire(faults.MANIFEST_LOG, data=frame)
+        if inj is not None:
+            frame = inj.mutate_bytes(frame)
+        if frame:
+            slot.append(frame)
+        if inj is not None:
+            inj.finish()
+
+    def append_meta_record(self, kind: int, payload: bytes) -> None:
+        """Append one framed record to the metadata log.
+
+        Raises :class:`AllocationError` when the active slot is full;
+        the caller then rolls over via :meth:`reset_meta` and writes a
+        fresh snapshot.
+        """
+        self._append_meta_frame(self.meta_region, kind, payload)
+
+    @staticmethod
+    def _parse_meta(data: bytes) -> tuple[list[tuple[int, bytes]], int, bool]:
+        """Parse framed records; -> ``(records, valid_len, crc_error)``.
+
+        Stops at a truncated tail (torn append) without raising;
+        ``valid_len`` is the length of the well-formed prefix.  A
+        checksum mismatch in a complete frame stops the parse and sets
+        ``crc_error`` instead -- the caller decides whether that is
+        fatal.
+        """
         records: list[tuple[int, bytes]] = []
         pos = 0
         while pos + 9 <= len(data):
             kind = data[pos]
             length = int.from_bytes(data[pos + 1 : pos + 5], "little")
             crc = int.from_bytes(data[pos + 5 : pos + 9], "little")
+            if kind == 0 and length == 0:
+                break  # unwritten space, not a record
             payload = data[pos + 9 : pos + 9 + length]
             if len(payload) < length:
                 break  # truncated tail
             if zlib.crc32(payload) != crc:
-                raise StorageError(f"meta record crc mismatch at {pos}")
+                return records, pos, True
             records.append((kind, bytes(payload)))
             pos += 9 + length
-        return records
+        return records, pos, False
+
+    def _slot_state(self, index: int):
+        """-> ``(generation, body, usable, damaged, crc_error)`` for one slot.
+
+        ``body`` excludes the generation header.  A slot opened by
+        :meth:`reset_meta` is usable only once a snapshot follows its
+        header -- until then the previous slot is the manifest of
+        record.  Slot 0 with no header is the initial (generation 1)
+        manifest and is usable even when empty (a fresh store).
+        """
+        data = self._meta_slots[index].read_all()
+        records, valid_len, crc_error = self._parse_meta(data)
+        if records and records[0][0] == self.META_OPEN:
+            generation = int.from_bytes(records[0][1][:8], "little")
+            body = records[1:]
+            usable = (not crc_error and bool(body)
+                      and body[0][0] == self.META_SNAPSHOT)
+        else:
+            generation = 1
+            body = records
+            usable = not crc_error and index == 0
+        damaged = crc_error or valid_len < len(data)
+        return generation, body, usable, damaged, crc_error
+
+    def read_meta_records(self) -> list[tuple[int, bytes]]:
+        """The records of the manifest of record, in append order.
+
+        Prefers the active slot; falls back to the other slot when a
+        crash left the active one mid-rollover (generation header
+        without a snapshot).  Raises :class:`StorageError` when neither
+        slot holds a readable manifest.
+        """
+        gen, body, usable, damaged, crc_error = self._slot_state(self._active_meta)
+        if usable:
+            self._meta_damaged = damaged
+            return body
+        other = 1 - self._active_meta
+        ogen, obody, ousable, odamaged, ocrc = self._slot_state(other)
+        if not ousable:
+            if crc_error or ocrc:
+                raise StorageError("meta record crc mismatch")
+            raise StorageError("no usable manifest slot")
+        self._active_meta = other
+        self._meta_generation = ogen
+        self._meta_damaged = odamaged
+        return obody
+
+    def meta_log_damaged(self) -> bool:
+        """Whether the last :meth:`read_meta_records` found a torn tail.
+
+        Recovery must then rewrite the manifest (reset + snapshot)
+        before appending: records appended after garbage would be
+        unreachable to the next recovery.
+        """
+        return self._meta_damaged
 
     def reset_meta(self) -> None:
-        """Discard the metadata log (before writing a fresh snapshot)."""
-        self.meta_region.reset()
+        """Start a fresh manifest in the inactive slot (atomic rollover).
+
+        The old slot stays intact until the new slot's generation header
+        is durable, and :meth:`read_meta_records` keeps preferring the
+        old slot until a snapshot follows the header -- so a crash
+        anywhere inside a rollover loses at most the records the caller
+        had not yet written.
+        """
+        target = 1 - self._active_meta
+        slot = self._meta_slots[target]
+        slot.reset()
+        generation = self._meta_generation + 1
+        self._append_meta_frame(slot, self.META_OPEN,
+                                generation.to_bytes(8, "little"))
+        self._active_meta = target
+        self._meta_generation = generation
+        self._meta_damaged = False
 
     # -- table files -------------------------------------------------------
 
@@ -163,9 +286,23 @@ class Storage(ABC):
                     category: str = CATEGORY_TABLE) -> None:
         """Write a group of objects produced together (one compaction).
 
-        The base implementation writes them one by one; set-aware
-        policies override this to place the whole group contiguously.
+        Carries the ``storage.write_files`` failpoint: a torn action
+        places only a prefix of the group before the simulated power
+        failure.  Placement itself is :meth:`_write_files`, which the
+        base class does one file at a time; set-aware policies override
+        it to place the whole group contiguously.
         """
+        inj = faults.fire(faults.STORAGE_WRITE_FILES, units=len(files))
+        if inj is None:
+            self._write_files(files, category)
+            return
+        keep = inj.keep_units(len(files))
+        if keep > 0:
+            self._write_files(list(files)[:keep], category)
+        inj.finish()
+
+    def _write_files(self, files: Sequence[tuple[str, bytes]],
+                     category: str = CATEGORY_TABLE) -> None:
         for name, data in files:
             self.write_file(name, data, category)
 
@@ -257,7 +394,14 @@ class BandAlignedStorage(Storage):
                 f"object {name!r} ({len(data)} B) exceeds band size {self.band_size}"
             )
         band = self._take_band()
-        self.drive.write(band * self.band_size, data, category=category)
+        try:
+            self.drive.write(band * self.band_size, data, category=category)
+        except BaseException:
+            # A crash mid-write leaves a half-filled band: trim it and
+            # put it back so the space is not leaked.
+            self.drive.trim(band * self.band_size, self.band_size)
+            self._free_bands.insert(0, band)
+            raise
         self._files[name] = (band, len(data))
 
     def _take_band(self) -> int:
@@ -330,11 +474,20 @@ class _BandStream(FileStream):
         chunk = bytes(self._pending[:nbytes])
         del self._pending[:nbytes]
         offset = self._band * self._storage.band_size + self._written
-        if self._written + len(chunk) > self._storage.band_size:
-            raise AllocationError(
-                f"stream {self._name!r} exceeds band size {self._storage.band_size}"
-            )
-        self._storage.drive.write(offset, chunk, category=self._category)
+        try:
+            if self._written + len(chunk) > self._storage.band_size:
+                raise AllocationError(
+                    f"stream {self._name!r} exceeds band size "
+                    f"{self._storage.band_size}"
+                )
+            self._storage.drive.write(offset, chunk, category=self._category)
+        except BaseException:
+            # Abandon the stream: reclaim the band so the partially
+            # written file does not leak it.
+            band_start = self._band * self._storage.band_size
+            self._storage.drive.trim(band_start, self._storage.band_size)
+            self._storage._free_bands.insert(0, self._band)
+            raise
         self._written += len(chunk)
 
     def close(self) -> int:

@@ -92,7 +92,20 @@ class ZoneStorage(Storage):
             room = self.drive.zone_remaining(zone)
             chunk = data[cursor : cursor + room]
             offset = self.drive.write_pointer(zone)
-            self.drive.write(offset, chunk, category=category)
+            try:
+                self.drive.write(offset, chunk, category=category)
+            except BaseException:
+                # A crash mid-append: turn the already-placed pieces
+                # (and any torn prefix of this chunk) into garbage so
+                # zone GC can reclaim them.
+                torn = self.drive.write_pointer(zone) - offset
+                if torn > 0:
+                    self.zones[zone].garbage += torn
+                for ext in extents:
+                    state = self.zones[self.drive.zone_of(ext.start)]
+                    state.live -= ext.length
+                    state.garbage += ext.length
+                raise
             extents.append(Extent(offset, offset + len(chunk)))
             state = self.zones[zone]
             state.live += len(chunk)

@@ -1,0 +1,405 @@
+"""Systematic crash sweeping: every failpoint, every hit, recover, verify.
+
+The sweeper replays one deterministic seeded workload against a fresh
+store over and over.  Each run arms exactly one failpoint at one hit
+count (``faults.arm(point, action, at=k, times=1)``), lets the injected
+power failure abort the engine mid-operation, rebuilds it with
+:meth:`repro.lsm.db.DB.recover`, and checks the recovery invariants:
+
+* every acknowledged write is readable and no deleted key resurrects
+  (the operation in flight at the crash may legitimately land either
+  way -- its WAL record may or may not have become durable);
+* the manifest references exactly the table files that exist -- no
+  orphans survive recovery's garbage collection;
+* free-space accounting matches the live extents (dynamic-band
+  occupied = allocated + free; ext4 free + file extents = allocatable);
+* the set/band layout invariants of the dynamic-band manager hold.
+
+Each run then writes more data, recovers a second time, and re-checks
+-- this second cycle is what catches torn-tail bugs, where the first
+recovery salvages the log but leaves garbage that eats later appends.
+
+Hit counts per failpoint are learned by running the workload once under
+:func:`repro.faults.counting`; the sweep then strides through hit
+1..N so the whole lifetime of the store is covered without running
+thousands of repeats.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro import faults
+from repro.core.storage import DynamicBandStorage
+from repro.fs.ext4sim import Ext4Storage
+from repro.lsm.db import DB
+from repro.lsm.options import Options
+from repro.smr.drive import ConventionalDrive
+from repro.smr.raw_hmsmr import RawHMSMRDrive
+
+KiB = 1024
+MiB = 1024 * 1024
+
+#: storage kinds the sweeper knows how to build
+KINDS = ("dynamic", "ext4", "ext4-sets")
+
+#: failpoints swept by default (every named point in the registry)
+DEFAULT_POINTS = (
+    faults.WAL_APPEND,
+    faults.MANIFEST_LOG,
+    faults.STORAGE_WRITE_FILES,
+    faults.DRIVE_WRITE,
+    faults.FREESPACE_ALLOC,
+    faults.COMPACTION_INSTALL,
+    faults.FLUSH_INSTALL,
+)
+
+DEFAULT_ACTIONS = ("crash", "crash-after", "torn")
+
+
+@dataclass
+class CrashSweepConfig:
+    """One sweep: a workload, a store kind, and the points to crash."""
+
+    kind: str = "dynamic"
+    ops: int = 1200
+    keyspace: int = 500
+    seed: int = 0
+    max_hits_per_point: int = 12
+    points: tuple = DEFAULT_POINTS
+    actions: tuple = DEFAULT_ACTIONS
+    #: keys written after the first recovery (second crash/recover cycle)
+    post_ops: int = 60
+    #: sampling stride for full-model read-back checks
+    check_stride: int = 5
+
+
+@dataclass
+class RunOutcome:
+    """One crash/recover run of the sweep."""
+
+    point: str
+    action: str
+    hit: int
+    crashed: bool
+    violations: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.crashed and not self.violations
+
+
+@dataclass
+class SweepReport:
+    kind: str
+    hit_counts: dict
+    outcomes: list
+
+    @property
+    def runs(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def crash_points(self) -> int:
+        """Distinct (point, action, hit) combinations that crashed."""
+        return sum(1 for o in self.outcomes if o.crashed)
+
+    @property
+    def points_exercised(self) -> list:
+        return sorted({o.point for o in self.outcomes if o.crashed})
+
+    @property
+    def violations(self) -> list:
+        return [o for o in self.outcomes if o.crashed and o.violations]
+
+    @property
+    def missed(self) -> list:
+        """Runs whose armed failpoint never fired (workload too short)."""
+        return [o for o in self.outcomes if not o.crashed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def render(self) -> str:
+        lines = [f"crash sweep: kind={self.kind}",
+                 f"  {self.runs} runs, {self.crash_points} crash points, "
+                 f"{len(self.points_exercised)} failpoints exercised, "
+                 f"{len(self.violations)} violating, {len(self.missed)} missed"]
+        per: dict[tuple, list[RunOutcome]] = {}
+        for o in self.outcomes:
+            per.setdefault((o.point, o.action), []).append(o)
+        for (point, action), outs in sorted(per.items()):
+            crashed = sum(1 for o in outs if o.crashed)
+            bad = sum(1 for o in outs if o.crashed and o.violations)
+            mark = "FAIL" if bad else "ok"
+            lines.append(f"  {point:22s} {action:12s} "
+                         f"{crashed:4d}/{len(outs):<4d} crashed  {mark}")
+        for o in self.violations:
+            lines.append(f"  VIOLATION {o.point} {o.action} hit={o.hit}:")
+            for v in o.violations:
+                lines.append(f"    - {v}")
+        return "\n".join(lines)
+
+
+# -- store construction ---------------------------------------------------
+
+
+def _options(kind: str, seed: int) -> Options:
+    use_sets = kind in ("dynamic", "ext4-sets")
+    return Options(write_buffer_size=4 * KiB, sstable_size=4 * KiB,
+                   block_size=512, base_level_bytes=8 * KiB,
+                   block_cache_bytes=64 * KiB, use_sets=use_sets, seed=seed)
+
+
+def build_store(kind: str, seed: int = 0) -> DB:
+    """A fresh small store of the given kind, empty and failpoint-free."""
+    if kind == "dynamic":
+        drive = RawHMSMRDrive(16 * MiB, guard_size=4 * KiB)
+        storage = DynamicBandStorage(drive, wal_size=64 * KiB,
+                                     meta_size=64 * KiB, class_unit=4 * KiB)
+    elif kind == "ext4":
+        drive = ConventionalDrive(16 * MiB)
+        storage = Ext4Storage(drive, wal_size=64 * KiB, meta_size=64 * KiB,
+                              block_size=512)
+    elif kind == "ext4-sets":
+        drive = ConventionalDrive(16 * MiB)
+        storage = Ext4Storage(drive, wal_size=64 * KiB, meta_size=64 * KiB,
+                              block_size=512, contiguous_groups=True)
+    else:
+        raise ValueError(f"unknown store kind {kind!r}; pick from {KINDS}")
+    return DB(storage, _options(kind, seed))
+
+
+# -- the deterministic workload -------------------------------------------
+
+
+def make_ops(config: CrashSweepConfig) -> list:
+    """A seeded put/overwrite/delete trace; identical for every run."""
+    rng = random.Random(config.seed)
+    ops: list[tuple] = []
+    for i in range(config.ops):
+        k = rng.randrange(config.keyspace)
+        key = b"key%06d" % k
+        if i > 40 and rng.random() < 0.15:
+            ops.append(("del", key, None))
+        else:
+            value = (b"value-%06d-%04d-" % (k, i)) * (1 + rng.randrange(4))
+            ops.append(("put", key, value))
+    return ops
+
+
+def _apply(db: DB, op: tuple) -> None:
+    verb, key, value = op
+    if verb == "put":
+        db.put(key, value)
+    else:
+        db.delete(key)
+
+
+def count_hits(config: CrashSweepConfig) -> dict:
+    """Run the workload once, uninjected, counting failpoint hits."""
+    ops = make_ops(config)
+    db = build_store(config.kind, config.seed)
+    with faults.counting() as counts:
+        for op in ops:
+            _apply(db, op)
+        db.flush()
+        snapshot = dict(counts)
+    faults.reset()
+    return snapshot
+
+
+# -- invariant checking ----------------------------------------------------
+
+
+def _check_model(db: DB, model: dict, deleted: set, inflight: tuple | None,
+                 stride: int, label: str) -> list:
+    """Acked writes readable, deletes stay dead; in-flight key free."""
+    violations = []
+    skip = inflight[1] if inflight is not None else None
+    items = sorted(model.items())
+    for key, value in items[::max(1, stride)]:
+        if key == skip:
+            continue
+        got = db.get(key)
+        if got != value:
+            violations.append(
+                f"{label}: acked write lost: {key!r} -> "
+                f"{got!r} (expected {value!r})")
+    for key in sorted(deleted):
+        if key == skip:
+            continue
+        got = db.get(key)
+        if got is not None:
+            violations.append(
+                f"{label}: deleted key resurrected: {key!r} -> {got!r}")
+    if inflight is not None:
+        verb, key, value = inflight
+        got = db.get(key)
+        before = model.get(key)
+        acceptable = {before, value if verb == "put" else None}
+        if got not in acceptable:
+            violations.append(
+                f"{label}: in-flight {verb} of {key!r} -> {got!r}, "
+                f"expected one of {acceptable!r}")
+    return violations
+
+
+def _check_layout(db: DB, label: str) -> list:
+    """Manifest vs directory, free-space accounting, band layout."""
+    violations = []
+    storage = db.storage
+    live = {meta.name for level in db.versions.current.files for meta in level}
+    on_disk = {name for name in storage.list_files() if name.endswith(".sst")}
+    for name in sorted(live - on_disk):
+        violations.append(f"{label}: manifest references missing file {name}")
+    for name in sorted(on_disk - live):
+        violations.append(f"{label}: orphan table file survived GC: {name}")
+
+    if isinstance(storage, DynamicBandStorage):
+        try:
+            storage.manager.check_invariants()
+        except Exception as exc:  # InvariantViolation and friends
+            violations.append(f"{label}: band manager invariants: {exc}")
+        occupied = storage.manager.occupied_bytes()
+        allocated = storage.manager.allocated_bytes()
+        free = storage.manager.free_bytes()
+        if occupied != allocated + free:
+            violations.append(
+                f"{label}: space accounting drifted: occupied {occupied} "
+                f"!= allocated {allocated} + free {free}")
+        for name in sorted(on_disk):
+            ext = storage.file_extents(name)[0]
+            if not storage.manager.allocated.contains_range(ext.start, ext.end):
+                violations.append(
+                    f"{label}: file {name} extent {ext} not allocated")
+    elif isinstance(storage, Ext4Storage):
+        used = sum(ext.length for name in storage.list_files()
+                   for ext in storage.file_extents(name))
+        free = storage.allocator.free_bytes()
+        total = _ext4_allocatable(storage)
+        if used + free != total:
+            violations.append(
+                f"{label}: ext4 accounting drifted: used {used} + free "
+                f"{free} != allocatable {total}")
+    return violations
+
+
+def _ext4_allocatable(storage: Ext4Storage) -> int:
+    alloc = storage.allocator
+    end = alloc.capacity - alloc.capacity % alloc.block_size
+    return end - alloc.start
+
+
+def _check_recovered(db: DB, model: dict, deleted: set,
+                     inflight: tuple | None, stride: int,
+                     label: str) -> list:
+    violations = []
+    try:
+        db.check_invariants()
+    except Exception as exc:
+        violations.append(f"{label}: version invariants: {exc}")
+    violations += _check_model(db, model, deleted, inflight, stride, label)
+    violations += _check_layout(db, label)
+    return violations
+
+
+# -- one crash/recover run -------------------------------------------------
+
+
+def run_one(config: CrashSweepConfig, point: str, action: str,
+            hit: int) -> RunOutcome:
+    """Crash at the ``hit``-th arrival at ``point``, recover, verify."""
+    ops = make_ops(config)
+    db = build_store(config.kind, config.seed)
+    model: dict[bytes, bytes] = {}
+    deleted: set[bytes] = set()
+    inflight = None
+    crashed = False
+
+    faults.reset()
+    faults.arm(point, action, at=hit, times=1, seed=config.seed)
+    try:
+        for op in ops:
+            inflight = op
+            _apply(db, op)
+            verb, key, value = op
+            if verb == "put":
+                model[key] = value
+                deleted.discard(key)
+            else:
+                model.pop(key, None)
+                deleted.add(key)
+            inflight = None
+        # mirror the counting run exactly, so every counted hit of the
+        # final flush's failpoints is reachable when armed
+        db.flush()
+    except faults.InjectedCrash:
+        crashed = True
+    finally:
+        faults.reset()
+
+    if not crashed:
+        return RunOutcome(point, action, hit, crashed=False)
+
+    # Power is back: rebuild from what reached the medium.
+    recovered = DB.recover(db.storage, db.options)
+    violations = _check_recovered(recovered, model, deleted, inflight,
+                                  config.check_stride, "first recovery")
+
+    # Keep living: new writes must stick across a second crash/recover
+    # cycle (this is what flushes out torn-tail salvage bugs).
+    post = {}
+    for i in range(config.post_ops):
+        key = b"post%06d" % i
+        value = b"post-value-%06d" % i
+        recovered.put(key, value)
+        post[key] = value
+    model.update(post)
+    if inflight is not None and inflight[1] in post:
+        inflight = None
+    again = DB.recover(recovered.storage, recovered.options)
+    violations += _check_recovered(again, model, deleted, inflight,
+                                   config.check_stride, "second recovery")
+    for key, value in sorted(post.items()):
+        got = again.get(key)
+        if got != value:
+            violations.append(
+                f"second recovery: post-crash write lost: {key!r} -> {got!r}")
+            break
+
+    return RunOutcome(point, action, hit, crashed=True,
+                      violations=violations)
+
+
+# -- the sweep -------------------------------------------------------------
+
+
+def _hit_schedule(total: int, max_hits: int) -> list:
+    """Up to ``max_hits`` hit counts striding 1..total, always incl. both."""
+    if total <= 0 or max_hits <= 0:
+        return []
+    if total <= max_hits:
+        return list(range(1, total + 1))
+    step = total / max_hits
+    hits = {1, total}
+    for i in range(max_hits):
+        hits.add(1 + int(i * step))
+    return sorted(hits)[:max_hits]
+
+
+def sweep(config: CrashSweepConfig, progress=None) -> SweepReport:
+    """Crash at every scheduled hit of every point; verify every time."""
+    counts = count_hits(config)
+    outcomes = []
+    for point in config.points:
+        total = counts.get(point, 0)
+        for action in config.actions:
+            for hit in _hit_schedule(total, config.max_hits_per_point):
+                outcome = run_one(config, point, action, hit)
+                outcomes.append(outcome)
+                if progress is not None:
+                    progress(outcome)
+    return SweepReport(config.kind, counts, outcomes)

@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterator
 
+from repro import faults
 from repro.errors import InvariantViolation
 from repro.fs.storage import Storage
 from repro.lsm.cache import LRUCache
@@ -33,7 +34,7 @@ from repro.lsm.memtable import Memtable
 from repro.lsm.options import Options
 from repro.lsm.sstable import SSTableBuilder, SSTableReader
 from repro.lsm.version import FileMetaData, VersionEdit, VersionSet
-from repro.lsm.wal import LogWriter, WriteBatch, read_log_records
+from repro.lsm.wal import LogWriter, WriteBatch, scan_log
 from repro.smr.extent import Extent
 from repro.smr.stats import AmplificationTracker
 
@@ -166,6 +167,7 @@ class DB:
             self.drive.clock.advance(
                 self.options.compaction_cpu_per_byte * props.file_size)
 
+        faults.trip(faults.FLUSH_INSTALL, self.drive.clock)
         edit = VersionEdit()
         edit.add_file(0, meta)
         self.versions.log_and_apply(edit)
@@ -325,6 +327,7 @@ class DB:
 
         if compaction.is_trivial_move():
             meta = compaction.inputs[0]
+            faults.trip(faults.COMPACTION_INSTALL, self.drive.clock)
             edit = VersionEdit()
             edit.delete_file(compaction.level, meta.number)
             edit.add_file(compaction.output_level, meta)
@@ -437,6 +440,7 @@ class DB:
         output_extents = [self.storage.file_extents(m.name)
                           for m in output_meta]
 
+        faults.trip(faults.COMPACTION_INSTALL, self.drive.clock)
         edit = VersionEdit()
         for meta in compaction.inputs:
             edit.delete_file(compaction.level, meta.number)
@@ -543,15 +547,32 @@ class DB:
                 raise InvariantViolation(f"unknown meta record kind {kind}")
         db.picker = CompactionPicker(db.options, db.versions)
         wal_bytes = storage.read_log_bytes()
+        payloads, valid_len = scan_log(wal_bytes, db.options.wal_block_size)
         max_seq = db.versions.last_sequence
-        for payload in read_log_records(wal_bytes, db.options.wal_block_size):
+        for payload in payloads:
             sequence, batch = WriteBatch.deserialize(payload)
             for offset, (type_, key, value) in enumerate(batch.ops):
                 db.memtable.add(sequence + offset, type_, key, value)
             max_seq = max(max_seq, sequence + len(batch) - 1)
         db.versions.last_sequence = max_seq
         db.log = LogWriter(storage.append_log, db.options.wal_block_size)
-        db.log._block_offset = len(wal_bytes) % db.options.wal_block_size
+        if valid_len < len(wal_bytes):
+            # Torn tail: rewrite the salvaged records as a fresh log.
+            # Appending after the garbage instead would make every
+            # later record unreachable to the next recovery (it stops
+            # at the damage) -- acked writes would vanish on the second
+            # crash.
+            storage.reset_log()
+            for payload in payloads:
+                db.log.add_record(payload)
+        else:
+            db.log._block_offset = valid_len % db.options.wal_block_size
+        if storage.meta_log_damaged():
+            # Same reasoning for the manifest: restart it from a clean
+            # snapshot of the recovered state before anything appends.
+            storage.reset_meta()
+            storage.append_meta_record(Storage.META_SNAPSHOT,
+                                       db.versions.serialize())
         db._remove_orphan_files()
         return db
 

@@ -19,6 +19,7 @@ from __future__ import annotations
 import zlib
 from typing import Iterator
 
+from repro import faults
 from repro.errors import CorruptionError
 from repro.lsm.ikey import TYPE_DELETION, TYPE_VALUE
 from repro.util.varint import (
@@ -142,10 +143,70 @@ class LogWriter:
             first = False
             if end:
                 break
-        self._sink(bytes(out))
+        blob = bytes(out)
+        inj = faults.fire(faults.WAL_APPEND, data=blob)
+        if inj is not None:
+            blob = inj.mutate_bytes(blob)
+        if blob:
+            self._sink(blob)
+        if inj is not None:
+            inj.finish()
 
     def reset(self) -> None:
         self._block_offset = 0
+
+
+def scan_log(data: bytes, block_size: int = 32 * 1024) -> tuple[list[bytes], int]:
+    """Salvage the valid prefix of a possibly torn log.
+
+    Returns ``(payloads, valid_len)``: every complete record whose
+    frames all checksum, and the byte length of the log prefix those
+    records occupy.  Parsing stops -- without raising -- at the first
+    torn, corrupt, or incomplete frame, so a crash that tore the tail of
+    the log (or corrupted it in flight) costs only records at or after
+    the damage.  ``valid_len < len(data)`` tells the caller the tail is
+    garbage and the log must be rewritten before further appends, else a
+    later recovery would stop at the damage and lose the new records.
+    """
+    payloads: list[bytes] = []
+    valid_len = 0
+    pos = 0
+    fragments: list[bytes] = []
+    while pos < len(data):
+        block_remaining = block_size - pos % block_size
+        if block_remaining < HEADER_SIZE:
+            pos += block_remaining
+            continue
+        if pos + HEADER_SIZE > len(data):
+            break
+        crc = decode_fixed32(data, pos)
+        length = int.from_bytes(data[pos + 4 : pos + 6], "little")
+        type_ = data[pos + 6]
+        if type_ == 0 and length == 0:
+            pos += block_remaining
+            continue
+        start = pos + HEADER_SIZE
+        if start + length > len(data):
+            break
+        fragment = data[start : start + length]
+        if zlib.crc32(bytes([type_]) + fragment) != crc:
+            break
+        pos = start + length
+        if type_ == _FULL and not fragments:
+            payloads.append(fragment)
+            valid_len = pos
+        elif type_ == _FIRST and not fragments:
+            fragments = [fragment]
+        elif type_ == _MIDDLE and fragments:
+            fragments.append(fragment)
+        elif type_ == _LAST and fragments:
+            fragments.append(fragment)
+            payloads.append(b"".join(fragments))
+            fragments = []
+            valid_len = pos
+        else:
+            break
+    return payloads, valid_len
 
 
 def read_log_records(data: bytes, block_size: int = 32 * 1024) -> Iterator[bytes]:

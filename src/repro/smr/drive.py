@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 
+from repro import faults
 from repro.errors import OutOfRangeError
 from repro.smr.stats import DriveStats
 from repro.smr.timing import DiskTimingModel, DriveProfile, HDD_PROFILE, SimClock
@@ -47,9 +48,25 @@ class Drive(ABC):
                                seeked=seeked, now=self.clock.now)
         return bytes(self._data[offset : offset + length])
 
-    @abstractmethod
     def write(self, offset: int, data: bytes, category: str = "data") -> None:
-        """Write ``data`` at ``offset`` under this drive's semantics."""
+        """Write ``data`` at ``offset`` under this drive's semantics.
+
+        Carries the ``drive.write`` failpoint: an armed torn-write
+        action truncates ``data`` to the prefix that "reached the
+        medium" before the simulated power failure.
+        """
+        inj = faults.fire(faults.DRIVE_WRITE, data=data, clock=self.clock)
+        if inj is None:
+            self._write_impl(offset, data, category)
+            return
+        data = inj.mutate_bytes(data)
+        if data:
+            self._write_impl(offset, data, category)
+        inj.finish()
+
+    @abstractmethod
+    def _write_impl(self, offset: int, data: bytes, category: str = "data") -> None:
+        """The drive-specific write semantics (no failpoint handling)."""
 
     def write_buffered(self, offset: int, data: bytes, category: str = "data") -> None:
         """Write absorbed by the page cache / journal (WAL and manifests).
@@ -61,6 +78,9 @@ class Drive(ABC):
         and leaves the head where it was.  Bytes still land in the data
         array and are counted per category.
         """
+        inj = faults.fire(faults.DRIVE_WRITE, data=data, clock=self.clock)
+        if inj is not None:
+            data = inj.mutate_bytes(data)
         length = len(data)
         self._check_range(offset, length)
         elapsed = length / self.profile.seq_write_bps
@@ -68,6 +88,8 @@ class Drive(ABC):
         self.stats.record_write(offset, length, elapsed, category,
                                 seeked=False, now=self.clock.now)
         self._data[offset : offset + length] = data
+        if inj is not None:
+            inj.finish()
 
     def charge_metadata_op(self) -> float:
         """Charge the cost of one filesystem-metadata update.
@@ -111,7 +133,7 @@ class ConventionalDrive(Drive):
                  clock: SimClock | None = None) -> None:
         super().__init__(capacity, profile, clock)
 
-    def write(self, offset: int, data: bytes, category: str = "data") -> None:
+    def _write_impl(self, offset: int, data: bytes, category: str = "data") -> None:
         length = len(data)
         self._check_range(offset, length)
         seeked = offset != self.model.head

@@ -64,7 +64,7 @@ class DriveManagedSMRDrive(Drive):
     def band_of(self, offset: int) -> int:
         return (offset - self.native_start) // self.band_size
 
-    def write(self, offset: int, data: bytes, category: str = "data") -> None:
+    def _write_impl(self, offset: int, data: bytes, category: str = "data") -> None:
         length = len(data)
         self._check_range(offset, length)
         if offset < self.native_start:

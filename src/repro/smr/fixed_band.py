@@ -58,7 +58,7 @@ class FixedBandSMRDrive(Drive):
             return 0
         return self.band_of(offset + length - 1) - self.band_of(offset) + 1
 
-    def write(self, offset: int, data: bytes, category: str = "data") -> None:
+    def _write_impl(self, offset: int, data: bytes, category: str = "data") -> None:
         self._check_range(offset, len(data))
         cursor = 0
         while cursor < len(data):

@@ -47,7 +47,7 @@ class RawHMSMRDrive(Drive):
         self.enforce = enforce
         self.valid = ExtentMap()
 
-    def write(self, offset: int, data: bytes, category: str = "data") -> None:
+    def _write_impl(self, offset: int, data: bytes, category: str = "data") -> None:
         length = len(data)
         self._check_range(offset, length)
         end = offset + length

@@ -59,7 +59,7 @@ class ZonedDrive(Drive):
         """Writable bytes left in ``zone``."""
         return (zone + 1) * self.zone_size - self._wp[zone]
 
-    def write(self, offset: int, data: bytes, category: str = "data") -> None:
+    def _write_impl(self, offset: int, data: bytes, category: str = "data") -> None:
         length = len(data)
         self._check_range(offset, length)
         zone = self.zone_of(offset)

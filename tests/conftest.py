@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro import faults
 from repro.harness.profiles import ScaleProfile
 
 KiB = 1024
@@ -27,3 +28,26 @@ TEST_PROFILE = ScaleProfile(
 @pytest.fixture
 def profile() -> ScaleProfile:
     return TEST_PROFILE
+
+
+@pytest.fixture(autouse=True)
+def _clean_failpoints():
+    """The failpoint registry is process-global; isolate every test."""
+    faults.reset()
+    yield
+    faults.reset()
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--run-crashsweep", action="store_true", default=False,
+        help="run the full crash-sweep tests (marker: crashsweep)")
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--run-crashsweep"):
+        return
+    skip = pytest.mark.skip(reason="needs --run-crashsweep")
+    for item in items:
+        if "crashsweep" in item.keywords:
+            item.add_marker(skip)

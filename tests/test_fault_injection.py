@@ -1,18 +1,20 @@
 """Fault-injection tests: crash at arbitrary points, recover, verify.
 
-The "crash" model: an exception is injected into a storage write at a
-chosen operation count, aborting whatever flush/compaction was running.
-Everything already on the simulated drive (tables, manifest log, WAL)
-survives; the engine is then rebuilt with ``DB.recover`` and must come
-back consistent -- committed data readable, orphan files from the
-aborted operation garbage-collected.
+The "crash" model: the ``storage.write_files`` failpoint raises
+:class:`~repro.faults.InjectedCrash` at a chosen hit count, aborting
+whatever flush/compaction was running.  Everything already on the
+simulated drive (tables, manifest log, WAL) survives; the engine is
+then rebuilt with ``DB.recover`` and must come back consistent --
+committed data readable, orphan files from the aborted operation
+garbage-collected.
 """
 
 import numpy as np
 import pytest
 
+from repro import faults
 from repro.core.storage import DynamicBandStorage
-from repro.errors import ReproError
+from repro.faults import InjectedCrash
 from repro.fs.ext4sim import Ext4Storage
 from repro.lsm.db import DB
 from repro.lsm.options import Options
@@ -23,27 +25,13 @@ KiB = 1024
 MiB = 1024 * 1024
 
 
-class InjectedCrash(ReproError):
-    """The simulated power failure."""
-
-
 def _install_crash(storage, after_writes: int) -> None:
-    """Make the storage raise after ``after_writes`` more table writes."""
-    state = {"left": after_writes}
-    original = storage.write_files
-
-    def tripwire(files, category="table"):
-        if state["left"] <= 0:
-            raise InjectedCrash("power failure")
-        state["left"] -= 1
-        return original(files, category)
-
-    storage.write_files = tripwire  # type: ignore[method-assign]
-    storage._crash_restore = original  # type: ignore[attr-defined]
+    """Crash on the write_files call after ``after_writes`` more writes."""
+    faults.arm(faults.STORAGE_WRITE_FILES, "crash", after=after_writes)
 
 
 def _heal(storage) -> None:
-    storage.write_files = storage._crash_restore  # type: ignore[attr-defined]
+    faults.disarm(faults.STORAGE_WRITE_FILES)
 
 
 def _options(**overrides):

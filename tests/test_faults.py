@@ -1,0 +1,205 @@
+"""Unit tests for the failpoint registry, triggers, and actions."""
+
+import pytest
+
+from repro import faults
+from repro.errors import FailpointError, InjectedCrash
+from repro.faults.actions import Injection
+from repro.faults.registry import AfterN, EveryNth, OnHit, WithProbability
+from repro.smr.drive import ConventionalDrive
+
+KiB = 1024
+MiB = 1024 * 1024
+
+
+class TestTriggers:
+    def test_on_hit_fires_exactly_once(self):
+        trigger = OnHit(3)
+        assert [trigger.should_fire(h) for h in range(1, 7)] == [
+            False, False, True, False, False, False]
+
+    def test_after_n_fires_on_every_later_hit(self):
+        trigger = AfterN(2)
+        assert [trigger.should_fire(h) for h in range(1, 6)] == [
+            False, False, True, True, True]
+
+    def test_after_zero_fires_immediately(self):
+        assert AfterN(0).should_fire(1)
+
+    def test_every_nth(self):
+        trigger = EveryNth(3)
+        fired = [h for h in range(1, 10) if trigger.should_fire(h)]
+        assert fired == [3, 6, 9]
+
+    def test_probability_is_seeded_and_deterministic(self):
+        a = WithProbability(0.5, seed=7)
+        b = WithProbability(0.5, seed=7)
+        seq_a = [a.should_fire(h) for h in range(1, 50)]
+        seq_b = [b.should_fire(h) for h in range(1, 50)]
+        assert seq_a == seq_b
+        assert any(seq_a) and not all(seq_a)
+
+    def test_probability_extremes(self):
+        assert not any(WithProbability(0.0).should_fire(h) for h in range(1, 20))
+        assert all(WithProbability(1.0).should_fire(h) for h in range(1, 20))
+
+    def test_trigger_validation(self):
+        with pytest.raises(FailpointError):
+            OnHit(0)
+        with pytest.raises(FailpointError):
+            EveryNth(0)
+        with pytest.raises(FailpointError):
+            AfterN(-1)
+        with pytest.raises(FailpointError):
+            WithProbability(1.5)
+
+
+class TestRegistry:
+    def test_unknown_point_rejected(self):
+        with pytest.raises(FailpointError):
+            faults.arm("no.such.point")
+
+    def test_register_point_extends_the_namespace(self):
+        faults.register_point("test.extra")
+        fp = faults.arm("test.extra", "crash", at=1)
+        with pytest.raises(InjectedCrash):
+            faults.trip("test.extra")
+        assert fp.hits == 1 and fp.fired == 1
+
+    def test_only_one_trigger_keyword_allowed(self):
+        with pytest.raises(FailpointError):
+            faults.arm(faults.WAL_APPEND, at=1, every=2)
+
+    def test_arm_at_counts_hits(self):
+        fp = faults.arm(faults.WAL_APPEND, "crash", at=3)
+        assert faults.fire(faults.WAL_APPEND, data=b"x") is None
+        assert faults.fire(faults.WAL_APPEND, data=b"x") is None
+        with pytest.raises(InjectedCrash):
+            faults.fire(faults.WAL_APPEND, data=b"x")
+        assert (fp.hits, fp.fired) == (3, 1)
+        # OnHit never fires again
+        assert faults.fire(faults.WAL_APPEND, data=b"x") is None
+
+    def test_times_caps_repeated_firing(self):
+        fp = faults.arm(faults.WAL_APPEND, "crash", after=0, times=2)
+        for _ in range(2):
+            with pytest.raises(InjectedCrash):
+                faults.fire(faults.WAL_APPEND)
+        assert faults.fire(faults.WAL_APPEND) is None
+        assert fp.fired == 2
+
+    def test_arm_disarm_isolation(self):
+        faults.arm(faults.WAL_APPEND, "crash", after=0)
+        assert faults.fire(faults.MANIFEST_LOG) is None  # other point clean
+        faults.disarm(faults.WAL_APPEND)
+        assert faults.fire(faults.WAL_APPEND) is None
+        assert not faults.is_armed(faults.WAL_APPEND)
+        faults.disarm(faults.WAL_APPEND)  # idempotent
+
+    def test_reset_clears_everything(self):
+        faults.arm(faults.WAL_APPEND)
+        faults.arm(faults.DRIVE_WRITE)
+        faults.reset()
+        assert faults.armed_points() == []
+
+    def test_injected_context_manager(self):
+        with faults.injected(faults.WAL_APPEND, "crash", at=1) as fp:
+            assert faults.is_armed(faults.WAL_APPEND)
+            with pytest.raises(InjectedCrash):
+                faults.fire(faults.WAL_APPEND)
+            assert fp.fired == 1
+        assert not faults.is_armed(faults.WAL_APPEND)
+
+    def test_counting_mode_counts_without_arming(self):
+        with faults.counting() as counts:
+            for _ in range(3):
+                faults.fire(faults.WAL_APPEND, data=b"x")
+            faults.trip(faults.FLUSH_INSTALL)
+        assert counts[faults.WAL_APPEND] == 3
+        assert counts[faults.FLUSH_INSTALL] == 1
+        assert faults.fire(faults.WAL_APPEND) is None  # back to fast path
+
+
+class TestInjectionArithmetic:
+    def test_torn_fraction_truncates_but_never_completes(self):
+        inj = Injection("p", 1, fraction=1.0)
+        assert inj.mutate_bytes(b"abcdef") == b"abcde"  # always loses >= 1
+        inj = Injection("p", 1, fraction=0.5)
+        assert inj.mutate_bytes(b"abcdef") == b"abc"
+        inj = Injection("p", 1, fraction=0.0)
+        assert inj.mutate_bytes(b"abcdef") == b""
+
+    def test_keep_units_never_keeps_all(self):
+        inj = Injection("p", 1, fraction=1.0)
+        assert inj.keep_units(4) == 3
+        inj = Injection("p", 1, fraction=0.5)
+        assert inj.keep_units(4) == 2
+        inj = Injection("p", 1, fraction=0.0)
+        assert inj.keep_units(4) == 0
+
+    def test_corrupt_flips_bytes_in_place(self):
+        inj = Injection("p", 1, flips=[1])
+        out = inj.mutate_bytes(b"\x00\x00\x00")
+        assert out == b"\x00\xff\x00"
+
+    def test_finish_raises_only_for_crash_after(self):
+        Injection("p", 1).finish()  # no-op
+        with pytest.raises(InjectedCrash):
+            Injection("p", 1, crash_after=True).finish()
+
+
+class TestDriveWiring:
+    def test_torn_drive_write_leaves_prefix(self):
+        drive = ConventionalDrive(1 * MiB)
+        drive.write(0, b"\xaa" * 4096)
+        faults.arm(faults.DRIVE_WRITE, "torn", at=1, fraction=0.5)
+        with pytest.raises(InjectedCrash):
+            drive.write(8192, b"\xbb" * 4096)
+        # half the payload reached the medium, the rest never did
+        assert drive.peek(8192, 2048) == b"\xbb" * 2048
+        assert drive.peek(8192 + 2048, 2048) == b"\x00" * 2048
+
+    def test_crash_before_drive_write_leaves_nothing(self):
+        drive = ConventionalDrive(1 * MiB)
+        faults.arm(faults.DRIVE_WRITE, "crash", at=1)
+        with pytest.raises(InjectedCrash):
+            drive.write(0, b"\xcc" * 512)
+        assert drive.peek(0, 512) == b"\x00" * 512
+
+    def test_crash_after_drive_write_lands_payload(self):
+        drive = ConventionalDrive(1 * MiB)
+        faults.arm(faults.DRIVE_WRITE, "crash-after", at=1)
+        with pytest.raises(InjectedCrash):
+            drive.write(0, b"\xdd" * 512)
+        assert drive.peek(0, 512) == b"\xdd" * 512
+
+    def test_delay_advances_the_clock_without_failing(self):
+        drive = ConventionalDrive(1 * MiB)
+        before = drive.now
+        faults.arm(faults.DRIVE_WRITE, "delay", after=0, delay=0.25)
+        drive.write(0, b"\xee" * 512)
+        assert drive.peek(0, 512) == b"\xee" * 512
+        assert drive.now >= before + 0.25
+
+
+class TestDisarmedOverhead:
+    def test_disarmed_failpoints_change_nothing(self):
+        """A workload with the hooks compiled in but nothing armed is
+        byte-identical to one with a never-firing failpoint armed."""
+        from repro.harness.crashsweep import CrashSweepConfig, build_store, make_ops
+
+        def run(arm_inert: bool) -> bytes:
+            faults.reset()
+            if arm_inert:
+                faults.arm(faults.WAL_APPEND, "crash", at=10**9)
+            config = CrashSweepConfig(kind="ext4", ops=200)
+            db = build_store("ext4", seed=0)
+            for verb, key, value in make_ops(config):
+                if verb == "put":
+                    db.put(key, value)
+                else:
+                    db.delete(key)
+            db.flush()
+            return db.storage.drive.peek(0, db.storage.drive.capacity)
+
+        assert run(False) == run(True)

@@ -78,7 +78,40 @@ class TestMetaLog:
         s = ext4()
         s.append_meta_record(Storage.META_EDIT, b"x")
         s.reset_meta()
-        assert s.read_meta_records() == []
+        s.append_meta_record(Storage.META_SNAPSHOT, b"snap")
+        assert s.read_meta_records() == [(Storage.META_SNAPSHOT, b"snap")]
+
+    def test_reset_switches_slots(self):
+        s = ext4()
+        first = s.meta_region
+        s.append_meta_record(Storage.META_SNAPSHOT, b"old")
+        s.reset_meta()
+        assert s.meta_region is not first
+        s.reset_meta()
+        assert s.meta_region is first
+
+    def test_incomplete_rollover_falls_back_to_old_slot(self):
+        # A crash after reset_meta but before the fresh snapshot lands
+        # must recover the previous manifest, not an empty one.
+        s = ext4()
+        s.append_meta_record(Storage.META_SNAPSHOT, b"snap")
+        s.append_meta_record(Storage.META_EDIT, b"edit")
+        s.reset_meta()
+        assert s.read_meta_records() == [
+            (Storage.META_SNAPSHOT, b"snap"),
+            (Storage.META_EDIT, b"edit"),
+        ]
+        # ... and the fallback is sticky: appends go to the old slot
+        s.append_meta_record(Storage.META_EDIT, b"edit2")
+        assert s.read_meta_records()[-1] == (Storage.META_EDIT, b"edit2")
+
+    def test_torn_meta_tail_is_tolerated_and_flagged(self):
+        s = ext4()
+        s.append_meta_record(Storage.META_SNAPSHOT, b"snap")
+        frame = Storage._meta_frame(Storage.META_EDIT, b"never-finished")
+        s.meta_region.append(frame[: len(frame) - 4])  # torn append
+        assert s.read_meta_records() == [(Storage.META_SNAPSHOT, b"snap")]
+        assert s.meta_log_damaged()
 
     def test_crc_violation_detected(self):
         s = ext4()
