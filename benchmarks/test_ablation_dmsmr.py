@@ -12,8 +12,6 @@ fills, then stalls on cleaning; its device-level write amplification
 remains, so SEALDB's co-design still wins.
 """
 
-import numpy as np
-
 from repro.baselines.leveldb import LevelDBStore
 from repro.core.sealdb import SealDB
 from repro.experiments.common import MiB, kv_for, scaled_bytes

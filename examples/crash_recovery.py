@@ -11,11 +11,12 @@ lived in the WAL.
 Run:  python examples/crash_recovery.py
 """
 
-from repro import SealDB, SMALL_PROFILE
+import repro
+from repro import SMALL_PROFILE
 
 
 def main() -> None:
-    db = SealDB(SMALL_PROFILE)
+    db = repro.open("sealdb", profile=SMALL_PROFILE)
 
     # enough data that tables, manifest entries, and compactions exist
     for i in range(5000):
@@ -28,15 +29,20 @@ def main() -> None:
 
     tables_before = db.db.versions.current.num_files()
     seq_before = db.db.last_sequence
+    puts_before = db.stats.puts
     print(f"before crash: {tables_before} tables, sequence {seq_before:,}")
 
     # --- crash ------------------------------------------------------------
     # Drop every in-memory structure; only the simulated drive survives.
-    db.reopen()
+    # reopen() returns the store itself, so recovery chains naturally.
+    db = db.reopen()
 
     print(f"after recovery: {db.db.versions.current.num_files()} tables, "
           f"sequence {db.db.last_sequence:,}")
     assert db.db.last_sequence == seq_before
+
+    # operation counters live on the facade, so they survive recovery too
+    assert db.stats.puts == puts_before
 
     # flushed data, WAL-only data, and WAL-only deletes all recovered
     assert db.get(b"stable%08d" % 7) == b"value-7"

@@ -3,20 +3,24 @@ SMR drives with dynamic bands.
 
 Public entry points:
 
-* :class:`repro.SealDB` -- the paper's store (sets + dynamic bands on a
-  raw HM-SMR drive).
-* :class:`repro.LevelDBStore`, :class:`repro.SMRDBStore`,
-  :class:`repro.LevelDBWithSets` -- the comparison stores.
-* :func:`repro.make_store` -- factory over all four.
+* :func:`repro.open` -- construct any registered store kind
+  (``"leveldb"``, ``"smrdb"``, ``"leveldb+sets"``, ``"sealdb"``,
+  ``"zonekv"``); the blessed way to build a store.
+* :class:`repro.KVStoreBase` -- the store facade every kind returns
+  (context manager; ``store.obs`` is its observability bus).
+* :mod:`repro.obs` -- typed events, metrics registry, JSON-lines traces.
+* :class:`repro.SealDB` and friends -- the concrete classes, still
+  importable directly.
 * :mod:`repro.workloads` -- micro-benchmarks and YCSB.
 * :mod:`repro.experiments` -- one module per paper table/figure.
 
 Quick start::
 
-    from repro import SealDB
-    db = SealDB()
-    db.put(b"key", b"value")
-    assert db.get(b"key") == b"value"
+    import repro
+
+    with repro.open("sealdb") as db:
+        db.put(b"key", b"value")
+        assert db.get(b"key") == b"value"
 """
 
 from repro.baselines import LevelDBStore, LevelDBWithSets, SMRDBStore
@@ -29,8 +33,13 @@ from repro.harness import (
 )
 from repro.kvstore import KVStoreBase
 from repro.lsm import DB, Options
+from repro.registry import open_store, register_store, store_kinds
+from repro.obs import Observability
 
-__version__ = "1.0.0"
+#: the single public constructor: ``repro.open("sealdb")``
+open = open_store
+
+__version__ = "1.1.0"
 
 __all__ = [
     "DB",
@@ -38,6 +47,7 @@ __all__ = [
     "KVStoreBase",
     "LevelDBStore",
     "LevelDBWithSets",
+    "Observability",
     "Options",
     "SMALL_PROFILE",
     "SMRDBStore",
@@ -45,4 +55,8 @@ __all__ = [
     "SealDB",
     "__version__",
     "make_store",
+    "open",
+    "open_store",
+    "register_store",
+    "store_kinds",
 ]

@@ -15,11 +15,13 @@ from repro.errors import ReproError
 from repro.fs.ext4sim import Ext4Storage
 from repro.harness.profiles import DEFAULT_PROFILE, ScaleProfile
 from repro.kvstore import KVStoreBase
+from repro.registry import register_store
 from repro.smr.drive import ConventionalDrive
 from repro.smr.fixed_band import FixedBandSMRDrive
 from repro.smr.timing import HDD_PROFILE, SMR_PROFILE, SimClock
 
 
+@register_store("leveldb")
 class LevelDBStore(KVStoreBase):
     """Stock LevelDB configuration."""
 

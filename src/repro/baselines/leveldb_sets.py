@@ -12,10 +12,12 @@ from __future__ import annotations
 from repro.fs.ext4sim import Ext4Storage
 from repro.harness.profiles import DEFAULT_PROFILE, ScaleProfile
 from repro.kvstore import KVStoreBase
+from repro.registry import register_store
 from repro.smr.fixed_band import FixedBandSMRDrive
 from repro.smr.timing import SMR_PROFILE, SimClock
 
 
+@register_store("leveldb+sets", "leveldb_sets")
 class LevelDBWithSets(KVStoreBase):
     """LevelDB + sets (no dynamic bands)."""
 

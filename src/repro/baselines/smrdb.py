@@ -26,10 +26,12 @@ from __future__ import annotations
 from repro.fs.storage import BandAlignedStorage
 from repro.harness.profiles import DEFAULT_PROFILE, ScaleProfile
 from repro.kvstore import KVStoreBase
+from repro.registry import register_store
 from repro.smr.fixed_band import FixedBandSMRDrive
 from repro.smr.timing import SMR_PROFILE, SimClock
 
 
+@register_store("smrdb")
 class SMRDBStore(KVStoreBase):
     """Two-level, band-sized-SSTable store on dedicated bands."""
 

@@ -13,10 +13,12 @@ from __future__ import annotations
 from repro.fs.zonefs import ZoneStorage
 from repro.harness.profiles import DEFAULT_PROFILE, ScaleProfile
 from repro.kvstore import KVStoreBase
+from repro.registry import register_store
 from repro.smr.timing import SMR_PROFILE, SimClock
 from repro.smr.zoned import ZonedDrive
 
 
+@register_store("zonekv")
 class ZoneKVStore(KVStoreBase):
     """Set-aware LSM over append-only zones with zone GC."""
 

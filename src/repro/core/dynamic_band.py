@@ -33,6 +33,7 @@ from dataclasses import dataclass
 from repro import faults
 from repro.errors import AllocationError, InvariantViolation
 from repro.core.freespace import FreeSpaceList
+from repro.obs.events import BandAllocate, BandCoalesce, BandFree, BandSplit
 from repro.smr.extent import Extent, ExtentMap
 from repro.smr.raw_hmsmr import RawHMSMRDrive
 
@@ -68,6 +69,8 @@ class DynamicBandManager:
         self.inserts = 0
         self.splits = 0
         self.coalesces = 0
+        #: observability bus; None while no subscriber (zero-cost hooks)
+        self._obs = None
 
     # -- allocation -------------------------------------------------------
 
@@ -76,6 +79,7 @@ class DynamicBandManager:
         if nbytes <= 0:
             raise ValueError("allocation size must be positive")
         faults.trip(faults.FREESPACE_ALLOC, self.drive.clock)
+        obs = self._obs
         region = self.free_list.allocate(nbytes + self.guard_size)
         if region is not None:
             offset = region.start
@@ -83,7 +87,14 @@ class DynamicBandManager:
             if remainder.length > 0:
                 self.free_list.insert(remainder)
                 self.splits += 1
+                if obs is not None:
+                    obs.emit(BandSplit(ts=self.drive.now, offset=region.start,
+                                       used=nbytes,
+                                       remainder=remainder.length))
             self.inserts += 1
+            if obs is not None:
+                obs.emit(BandAllocate(ts=self.drive.now, offset=offset,
+                                      nbytes=nbytes, mode="insert"))
         else:
             if self.tail + nbytes > self.drive.capacity:
                 raise AllocationError(
@@ -93,6 +104,9 @@ class DynamicBandManager:
             offset = self.tail
             self.tail += nbytes
             self.appends += 1
+            if obs is not None:
+                obs.emit(BandAllocate(ts=self.drive.now, offset=offset,
+                                      nbytes=nbytes, mode="append"))
         self.allocated.add(offset, offset + nbytes)
         return offset
 
@@ -105,6 +119,7 @@ class DynamicBandManager:
             )
         self.allocated.remove(offset, end)
         self.drive.trim(offset, nbytes)
+        obs = self._obs
 
         start, stop = offset, end
         # merge with a free region ending exactly at our start
@@ -113,18 +128,30 @@ class DynamicBandManager:
             self.free_list.remove(left)
             start = left.start
             self.coalesces += 1
+            if obs is not None:
+                obs.emit(BandCoalesce(ts=self.drive.now, offset=left.start,
+                                      nbytes=left.length, side="left"))
         # merge with a free region starting exactly at our end
         right = self.free_list.region_at(stop)
         if right is not None:
             self.free_list.remove(right)
             stop = right.end
             self.coalesces += 1
+            if obs is not None:
+                obs.emit(BandCoalesce(ts=self.drive.now, offset=right.start,
+                                      nbytes=right.length, side="right"))
         if stop == self.tail:
             # the region reaches the banded tail: return it to the
             # residual (never-banded) space instead of the free list
             self.tail = start
+            if obs is not None:
+                obs.emit(BandFree(ts=self.drive.now, offset=offset,
+                                  nbytes=nbytes, to_residual=True))
             return
         self.free_list.insert(Extent(start, stop))
+        if obs is not None:
+            obs.emit(BandFree(ts=self.drive.now, offset=offset,
+                              nbytes=nbytes, to_residual=False))
 
     def _free_region_ending_at(self, end: int) -> Extent | None:
         # The free list indexes by start; derive the left neighbour from

@@ -5,10 +5,12 @@ from __future__ import annotations
 from repro.core.storage import DynamicBandStorage
 from repro.harness.profiles import DEFAULT_PROFILE, ScaleProfile
 from repro.kvstore import KVStoreBase
+from repro.registry import register_store
 from repro.smr.raw_hmsmr import RawHMSMRDrive
 from repro.smr.timing import SMR_PROFILE, SimClock
 
 
+@register_store("sealdb")
 class SealDB(KVStoreBase):
     """LSM-tree with set-grouped compactions over dynamic bands.
 
@@ -48,6 +50,19 @@ class SealDB(KVStoreBase):
         # extra WA for faster space recycling -- see the ablation bench).
         options = profile.options(use_sets=True)
         super().__init__(drive, storage, options)
+
+    def _register_gauges(self, metrics) -> None:
+        super()._register_gauges(metrics)
+        manager = self.storage.manager
+        metrics.gauge("band.occupied_bytes", manager.occupied_bytes)
+        metrics.gauge("band.allocated_bytes", manager.allocated_bytes)
+        metrics.gauge("band.free_bytes", manager.free_bytes)
+        metrics.gauge("band.count", lambda: len(manager.bands()))
+        metrics.gauge("band.fragment_count", lambda: len(self.fragments()))
+        metrics.gauge("band.fragment_bytes",
+                      lambda: sum(f.length for f in self.fragments()))
+        metrics.gauge("sets.avg_bytes", self.average_set_size)
+        metrics.gauge("sets.dead_bytes", lambda: self.set_registry.dead_bytes())
 
     # -- SEALDB-specific introspection ------------------------------------
 

@@ -20,6 +20,7 @@ from repro.core.dynamic_band import DynamicBandManager
 from repro.core.sets import SetRegistry
 from repro.errors import FileNotFoundStorageError, StorageError
 from repro.fs.storage import Storage
+from repro.obs.events import SetFade, SetRegister
 from repro.smr.extent import Extent
 from repro.smr.raw_hmsmr import RawHMSMRDrive
 from repro.smr.stats import CATEGORY_TABLE
@@ -69,6 +70,10 @@ class DynamicBandStorage(Storage):
             self.manager.free(offset, total)
             raise
         self.sets.register(members, created_at=self.drive.now)
+        obs = self._obs
+        if obs is not None:
+            obs.emit(SetRegister(ts=self.drive.now, members=len(members),
+                                 nbytes=total))
 
     def read_file(self, name: str, offset: int, length: int,
                   category: str = CATEGORY_TABLE) -> bytes:
@@ -88,6 +93,10 @@ class DynamicBandStorage(Storage):
         del self._files[name]
         faded = self.sets.mark_invalid(name)
         if faded is not None:
+            obs = self._obs
+            if obs is not None:
+                obs.emit(SetFade(ts=self.drive.now,
+                                 nbytes=faded.extent.length))
             self.manager.free(faded.extent.start, faded.extent.length)
 
     def file_extents(self, name: str) -> list[Extent]:

@@ -5,8 +5,8 @@ from __future__ import annotations
 import os
 
 from repro.harness.profiles import DEFAULT_PROFILE, ScaleProfile
-from repro.harness.runner import make_store
 from repro.kvstore import KVStoreBase
+from repro.registry import open_store
 from repro.workloads.generators import KeyValueGenerator
 from repro.workloads.microbench import MicroBenchmark
 
@@ -27,9 +27,17 @@ def kv_for(profile: ScaleProfile) -> KeyValueGenerator:
 
 def random_load(kind: str, db_bytes: int,
                 profile: ScaleProfile = DEFAULT_PROFILE,
-                seed: int = 0) -> tuple[KVStoreBase, float]:
-    """Random-load a fresh store; returns ``(store, sim_seconds)``."""
-    store = make_store(kind, profile)
+                seed: int = 0, subscriber=None,
+                events=None) -> tuple[KVStoreBase, float]:
+    """Random-load a fresh store; returns ``(store, sim_seconds)``.
+
+    ``subscriber`` (with an optional ``events`` filter) is attached to
+    the store's observability bus *before* the load, so experiments can
+    consume the event stream instead of reading store internals.
+    """
+    store = open_store(kind, profile=profile)
+    if subscriber is not None:
+        store.obs.subscribe(subscriber, events)
     bench = MicroBenchmark(kv_for(profile), profile.entries_for_bytes(db_bytes),
                            seed=seed)
     result = bench.fill_random(store)
@@ -38,9 +46,12 @@ def random_load(kind: str, db_bytes: int,
 
 def sequential_load(kind: str, db_bytes: int,
                     profile: ScaleProfile = DEFAULT_PROFILE,
-                    seed: int = 0) -> tuple[KVStoreBase, float]:
+                    seed: int = 0, subscriber=None,
+                    events=None) -> tuple[KVStoreBase, float]:
     """Sequentially load a fresh store; returns ``(store, sim_seconds)``."""
-    store = make_store(kind, profile)
+    store = open_store(kind, profile=profile)
+    if subscriber is not None:
+        store.obs.subscribe(subscriber, events)
     bench = MicroBenchmark(kv_for(profile), profile.entries_for_bytes(db_bytes),
                            seed=seed)
     result = bench.fill_seq(store)

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.experiments.common import MiB, random_load, scaled_bytes
+from repro.experiments.common import MiB, scaled_bytes
 from repro.harness.metrics import compaction_span, output_offsets_per_compaction
 from repro.harness.profiles import DEFAULT_PROFILE, ScaleProfile
 from repro.harness.report import render_table

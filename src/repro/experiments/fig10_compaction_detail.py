@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.experiments.common import MiB, random_load, scaled_bytes
-from repro.harness.metrics import CompactionSummary, summarize_compactions
+from repro.harness.metrics import CompactionEventLog, CompactionSummary
 from repro.harness.profiles import DEFAULT_PROFILE, ScaleProfile
 from repro.harness.report import render_table
 
@@ -46,12 +46,17 @@ def run(db_bytes: int | None = None,
         db_bytes = scaled_bytes(DEFAULT_DB_BYTES)
     details: dict[str, StoreCompactionDetail] = {}
     for kind in store_kinds:
-        store, _elapsed = random_load(kind, db_bytes, profile, seed)
-        summary = summarize_compactions(store.real_compactions())
+        # Compaction data arrives through the observability bus: the
+        # event log subscribes before the load and rebuilds the Fig. 10
+        # aggregates from `compaction.end` events.
+        log = CompactionEventLog()
+        store, _elapsed = random_load(kind, db_bytes, profile, seed,
+                                      subscriber=log,
+                                      events=CompactionEventLog.EVENTS)
+        summary = log.summary()
         avg_set = None
-        registry = getattr(store, "set_registry", None)
-        if registry is not None:
-            avg_set = registry.average_set_size()
+        if "sets.avg_bytes" in store.obs.metrics.gauges:
+            avg_set = store.obs.metrics.value("sets.avg_bytes")
         details[store.name] = StoreCompactionDetail(
             store.name, summary, summary.latencies, avg_set)
     return CompactionDetailResult(db_bytes, details)

@@ -45,7 +45,12 @@ def run(db_bytes: int | None = None,
     factors: dict[str, tuple[float, float, float]] = {}
     for kind in store_kinds:
         store, _t = random_load(kind, db_bytes, profile, seed)
-        factors[store.name] = (store.wa(), store.awa(), store.mwa())
+        # Amplification factors are read through the store's metrics
+        # registry (lazy gauges over the tracker) — the same numbers
+        # `repro metrics` reports.
+        m = store.obs.metrics
+        factors[store.name] = (m.value("amp.wa"), m.value("amp.awa"),
+                               m.value("amp.mwa"))
     return AmplificationResult(db_bytes, factors)
 
 

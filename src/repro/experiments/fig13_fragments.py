@@ -41,23 +41,24 @@ def run(db_bytes: int | None = None,
     if db_bytes is None:
         db_bytes = scaled_bytes(DEFAULT_DB_BYTES)
     store, _t = random_load("sealdb", db_bytes, profile, seed)
-    manager = store.band_manager
-    avg_set = store.average_set_size()
-    fragments = store.fragments()  # free regions <= avg set size
-    fragment_bytes = sum(f.length for f in fragments)
-    occupied = manager.occupied_bytes()
-    bands = manager.bands()
+    # Scalar layout metrics come from SEALDB's registered gauges — the
+    # same registry `repro metrics` renders; only the per-band size
+    # distribution still needs the manager's band list.
+    m = store.obs.metrics
+    occupied = int(m.value("band.occupied_bytes"))
+    band_sizes = [b.length for b in store.band_manager.bands()]
     return FragmentsResult(
         db_bytes=db_bytes,
         occupied_bytes=occupied,
-        allocated_bytes=manager.allocated_bytes(),
-        num_bands=len(bands),
-        band_sizes=[b.length for b in bands],
-        fragment_bytes=fragment_bytes,
-        fragment_count=len(fragments),
-        fragment_share=fragment_bytes / occupied if occupied else 0.0,
-        avg_set_size=avg_set,
-        dead_bytes=store.set_registry.dead_bytes(),
+        allocated_bytes=int(m.value("band.allocated_bytes")),
+        num_bands=int(m.value("band.count")),
+        band_sizes=band_sizes,
+        fragment_bytes=int(m.value("band.fragment_bytes")),
+        fragment_count=int(m.value("band.fragment_count")),
+        fragment_share=(m.value("band.fragment_bytes") / occupied
+                        if occupied else 0.0),
+        avg_set_size=m.value("sets.avg_bytes"),
+        dead_bytes=int(m.value("sets.dead_bytes")),
     )
 
 

@@ -15,7 +15,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.experiments.common import MiB, scaled_bytes
-from repro.experiments.fig08_microbench import MicroSuiteResult
 from repro.harness.metrics import WorkloadResult
 from repro.harness.profiles import DEFAULT_PROFILE, ScaleProfile
 from repro.harness.report import normalize, render_table

@@ -37,7 +37,8 @@ class Ext4Allocator:
     """
 
     def __init__(self, start: int, capacity: int, *, block_size: int = 4096,
-                 group_blocks: int = 8192) -> None:
+                 group_blocks: int = 8192, clock=None) -> None:
+        self.clock = clock  # optional time source for emitted events
         if start % block_size:
             start += block_size - start % block_size
         self.start = start
@@ -49,6 +50,8 @@ class Ext4Allocator:
         if end <= start:
             raise StorageError("no allocatable space")
         self.free.add(start, end)
+        #: observability bus; None while no subscriber (zero-cost hooks)
+        self._obs = None
 
     def _round_up(self, nbytes: int) -> int:
         blocks = (nbytes + self.block_size - 1) // self.block_size
@@ -66,6 +69,8 @@ class Ext4Allocator:
         run = self._find_run(need)
         if run is not None:
             self.free.remove(run.start, run.start + need)
+            if self._obs is not None:
+                self._emit_alloc(need, 1)
             return [Extent(run.start, run.start + need)]
         if contiguous:
             raise AllocationError(f"no contiguous run of {need} bytes")
@@ -82,7 +87,15 @@ class Ext4Allocator:
             raise AllocationError(f"out of space: short {remaining} of {need} bytes")
         for ext in extents:
             self.free.remove(ext.start, ext.end)
+        if self._obs is not None:
+            self._emit_alloc(need, len(extents))
         return extents
+
+    def _emit_alloc(self, nbytes: int, num_extents: int) -> None:
+        from repro.obs.events import ExtentAllocate
+        ts = self.clock.now if self.clock is not None else 0.0
+        self._obs.emit(ExtentAllocate(ts=ts, nbytes=nbytes,
+                                      extents=num_extents))
 
     def _find_run(self, need: int) -> Extent | None:
         """First free run of at least ``need`` bytes, front to back.
@@ -134,7 +147,8 @@ class Ext4Storage(Storage):
                          region_gap=region_gap)
         self.allocator = Ext4Allocator(self.data_start, drive.capacity,
                                        block_size=block_size,
-                                       group_blocks=group_blocks)
+                                       group_blocks=group_blocks,
+                                       clock=drive.clock)
         self.contiguous_groups = contiguous_groups
         self._files: dict[str, tuple[list[Extent], int]] = {}
 

@@ -23,6 +23,7 @@ from repro.errors import (
     FileNotFoundStorageError,
     StorageError,
 )
+from repro.obs.events import ManifestAppend, WALAppend
 from repro.smr.drive import Drive
 from repro.smr.extent import Extent
 from repro.smr.stats import CATEGORY_META, CATEGORY_TABLE, CATEGORY_WAL
@@ -81,6 +82,8 @@ class Storage(ABC):
                  region_gap: int = 0) -> None:
         self.drive = drive
         self.region_gap = region_gap
+        #: observability bus; None while no subscriber (zero-cost hooks)
+        self._obs = None
         self.wal = LogRegion(drive, 0, wal_size, CATEGORY_WAL)
         meta_start = wal_size + region_gap
         # The manifest area is split into two half-size slots so a
@@ -105,6 +108,9 @@ class Storage(ABC):
     def append_log(self, data: bytes) -> None:
         """Append a record blob to the write-ahead log."""
         self.wal.append(data)
+        obs = self._obs
+        if obs is not None:
+            obs.emit(WALAppend(ts=self.drive.now, nbytes=len(data)))
 
     def read_log_bytes(self) -> bytes:
         """All WAL bytes since the last reset (for recovery replay)."""
@@ -152,6 +158,9 @@ class Storage(ABC):
             slot.append(frame)
         if inj is not None:
             inj.finish()
+        obs = self._obs
+        if obs is not None:
+            obs.emit(ManifestAppend(ts=self.drive.now, nbytes=len(frame)))
 
     def append_meta_record(self, kind: int, payload: bytes) -> None:
         """Append one framed record to the metadata log.

@@ -133,6 +133,7 @@ class ZoneStorage(Storage):
             return False
         victim = max(candidates, key=lambda s: s.garbage)
         self.gc_runs += 1
+        moved_before = self.gc_bytes_moved
         # relocate live resident extents; descending positions so the
         # splices never shift a not-yet-processed index
         for name, positions in list(victim.residents.items()):
@@ -149,6 +150,11 @@ class ZoneStorage(Storage):
         victim.live = 0
         victim.garbage = 0
         self.drive.reset_zone(victim.index)
+        obs = self._obs
+        if obs is not None:
+            from repro.obs.events import ZoneGC
+            obs.emit(ZoneGC(ts=self.drive.now, zone=victim.index,
+                            moved_bytes=self.gc_bytes_moved - moved_before))
         return True
 
     def _reindex_residents(self, name: str) -> None:

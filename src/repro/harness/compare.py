@@ -14,7 +14,7 @@ from typing import Callable
 
 from repro.harness.profiles import DEFAULT_PROFILE, ScaleProfile
 from repro.harness.report import render_table
-from repro.harness.runner import make_store
+from repro.registry import open_store
 from repro.kvstore import KVStoreBase
 
 
@@ -97,9 +97,9 @@ def compare(a_kind: str, b_kind: str,
     """
     a_stats, b_stats = SampleStats(), SampleStats()
     for seed in seeds:
-        a_stats.values.append(measure(make_store(a_kind, profile), seed))
-        b_stats.values.append(measure(make_store(b_kind, profile), seed))
-    a_name = make_store(a_kind, profile).name
-    b_name = make_store(b_kind, profile).name
+        a_stats.values.append(measure(open_store(a_kind, profile=profile), seed))
+        b_stats.values.append(measure(open_store(b_kind, profile=profile), seed))
+    a_name = open_store(a_kind, profile=profile).name
+    b_name = open_store(b_kind, profile=profile).name
     return ComparisonResult(metric, a_name, b_name, a_stats, b_stats,
                             list(seeds))

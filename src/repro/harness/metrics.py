@@ -68,6 +68,43 @@ def summarize_compactions(records: list[CompactionRecord]) -> CompactionSummary:
     return summary
 
 
+class CompactionEventLog:
+    """Bus subscriber that rebuilds the Fig. 10 aggregates from
+    ``compaction.end`` events instead of reading store internals.
+
+    Attach before the workload::
+
+        log = CompactionEventLog()
+        store.obs.subscribe(log, events=CompactionEventLog.EVENTS)
+
+    then read :meth:`summary` (non-trivial compactions only).
+    """
+
+    EVENTS = frozenset({"compaction.end"})
+
+    def __init__(self) -> None:
+        self.events: list = []
+
+    def __call__(self, event) -> None:
+        self.events.append(event)
+
+    @property
+    def real_events(self) -> list:
+        return [e for e in self.events if not e.trivial_move]
+
+    def summary(self) -> CompactionSummary:
+        summary = CompactionSummary()
+        for e in self.real_events:
+            summary.count += 1
+            summary.total_latency += e.duration
+            summary.total_input_bytes += e.input_bytes
+            summary.total_output_bytes += e.output_bytes
+            summary.total_input_files += e.num_inputs
+            summary.total_output_files += e.num_outputs
+            summary.latencies.append(e.duration)
+        return summary
+
+
 def bands_written_per_compaction(store: KVStoreBase) -> list[int]:
     """For each real compaction, the number of distinct SMR bands its
     output SSTables were written into (Fig. 3a)."""

@@ -2,12 +2,13 @@
 
 from __future__ import annotations
 
+import warnings
 from typing import Callable
 
-from repro.errors import ReproError
 from repro.harness.metrics import WorkloadResult
 from repro.harness.profiles import DEFAULT_PROFILE, ScaleProfile
 from repro.kvstore import KVStoreBase
+from repro.registry import open_store
 from repro.workloads.generators import KeyValueGenerator
 from repro.workloads.microbench import MicroBenchmark
 
@@ -17,29 +18,15 @@ STORE_KINDS = ("leveldb", "smrdb", "leveldb+sets", "sealdb", "zonekv")
 
 def make_store(kind: str, profile: ScaleProfile = DEFAULT_PROFILE,
                **kwargs) -> KVStoreBase:
-    """Instantiate a store by name: the paper's four configurations
-    ("leveldb", "smrdb", "leveldb+sets", "sealdb") or the zoned-device
-    extension ("zonekv")."""
-    # Imported here: the store modules import harness.profiles, so a
-    # top-level import would be circular.
-    from repro.baselines.leveldb import LevelDBStore
-    from repro.baselines.leveldb_sets import LevelDBWithSets
-    from repro.baselines.smrdb import SMRDBStore
-    from repro.baselines.zonekv import ZoneKVStore
-    from repro.core.sealdb import SealDB
+    """Deprecated alias for :func:`repro.open` (the store registry).
 
-    kind = kind.lower()
-    if kind == "leveldb":
-        return LevelDBStore(profile, **kwargs)
-    if kind == "smrdb":
-        return SMRDBStore(profile, **kwargs)
-    if kind == "leveldb+sets":
-        return LevelDBWithSets(profile, **kwargs)
-    if kind == "sealdb":
-        return SealDB(profile, **kwargs)
-    if kind == "zonekv":
-        return ZoneKVStore(profile, **kwargs)
-    raise ReproError(f"unknown store kind {kind!r}; choose from {STORE_KINDS}")
+    Kept for backward compatibility; new code should call
+    ``repro.open(kind, profile=..., **overrides)``.
+    """
+    warnings.warn("make_store() is deprecated; use repro.open()",
+                  DeprecationWarning, stacklevel=2)
+    from repro.registry import open_store
+    return open_store(kind, profile=profile, **kwargs)
 
 
 class ExperimentRunner:
@@ -74,12 +61,12 @@ class ExperimentRunner:
             w: {} for w in ("fillseq", "fillrandom", "readseq", "readrandom")
         }
         for kind in self.store_kinds:
-            seq_store = make_store(kind, self.profile)
+            seq_store = open_store(kind, profile=self.profile)
             r = bench.fill_seq(seq_store)
             results["fillseq"][seq_store.name] = WorkloadResult(
                 seq_store.name, r.workload, r.ops, r.sim_seconds)
 
-            rand_store = make_store(kind, self.profile)
+            rand_store = open_store(kind, profile=self.profile)
             r = bench.fill_random(rand_store)
             results["fillrandom"][rand_store.name] = WorkloadResult(
                 rand_store.name, r.workload, r.ops, r.sim_seconds)
@@ -97,6 +84,6 @@ class ExperimentRunner:
     def run_custom(self, kind: str,
                    phase: Callable[[KVStoreBase], WorkloadResult]
                    ) -> WorkloadResult:
-        store = make_store(kind, self.profile)
+        store = open_store(kind, profile=self.profile)
         self.stores[store.name] = store
         return phase(store)

@@ -4,6 +4,14 @@ Each store bundles a drive, a placement policy, and an engine
 configuration; :class:`KVStoreBase` wires them together and exposes the
 operations plus the measurements every experiment needs (WA / AWA /
 MWA, compaction traces, simulated time).
+
+Every store also owns one :class:`~repro.obs.Observability` handle at
+``store.obs`` — the single instrumentation surface (typed events +
+metrics registry) shared by experiments, the CLI and the crash
+sweeper.  The facade works as a context manager::
+
+    with repro.open("sealdb") as db:
+        db.put(b"k", b"v")
 """
 
 from __future__ import annotations
@@ -11,8 +19,10 @@ from __future__ import annotations
 from typing import Iterator
 
 from repro.fs.storage import Storage
-from repro.lsm.db import DB, CompactionRecord
+from repro.lsm.db import DB, CompactionRecord, DBStats
 from repro.lsm.options import Options
+from repro.obs.bus import Observability
+from repro.obs.events import DeleteEvent, GetEvent, PutEvent
 from repro.smr.drive import Drive
 from repro.smr.stats import AmplificationTracker
 
@@ -27,18 +37,64 @@ class KVStoreBase:
         self.storage = storage
         self.options = options
         self.tracker = AmplificationTracker()
-        self.db = DB(storage, options, self.tracker)
+        # Stats live on the facade so counters survive crash-recovery
+        # (DB.recover used to build a fresh DBStats, orphaning the old
+        # object anyone held); the engine mutates this same instance.
+        self.stats = DBStats()
+        self.db = DB(storage, options, self.tracker, stats=self.stats)
+        self._obs = None
+        self.obs = Observability(self.name)
+        self._register_gauges(self.obs.metrics)
+        self._wire_obs()
+
+    def _wire_obs(self) -> None:
+        """Bind every instrumented component to the store's bus.  Called
+        again after ``reopen()`` replaces the engine."""
+        components = [self, self.drive, self.storage, self.db]
+        for attr in ("manager", "allocator"):
+            extra = getattr(self.storage, attr, None)
+            if extra is not None:
+                components.append(extra)
+        self.obs.bind(*components)
+
+    def _register_gauges(self, metrics) -> None:
+        """Lazy gauges evaluated on read; subclasses add layer-specific
+        ones (e.g. SEALDB's fragment and set-registry gauges)."""
+        metrics.gauge("amp.wa", self.wa)
+        metrics.gauge("amp.awa", self.awa)
+        metrics.gauge("amp.mwa", self.mwa)
 
     # -- operations ---------------------------------------------------------
 
     def put(self, key: bytes, value: bytes) -> None:
+        obs = self._obs
+        if obs is None:
+            self.db.put(key, value)
+            return
+        t0 = self.drive.now
         self.db.put(key, value)
+        obs.emit(PutEvent(ts=t0, key_len=len(key), value_len=len(value),
+                          latency=self.drive.now - t0))
 
     def get(self, key: bytes) -> bytes | None:
-        return self.db.get(key)
+        obs = self._obs
+        if obs is None:
+            return self.db.get(key)
+        t0 = self.drive.now
+        value = self.db.get(key)
+        obs.emit(GetEvent(ts=t0, key_len=len(key), hit=value is not None,
+                          latency=self.drive.now - t0))
+        return value
 
     def delete(self, key: bytes) -> None:
+        obs = self._obs
+        if obs is None:
+            self.db.delete(key)
+            return
+        t0 = self.drive.now
         self.db.delete(key)
+        obs.emit(DeleteEvent(ts=t0, key_len=len(key),
+                             latency=self.drive.now - t0))
 
     def scan(self, start: bytes | None = None, end: bytes | None = None,
              limit: int | None = None) -> Iterator[tuple[bytes, bytes]]:
@@ -59,10 +115,22 @@ class KVStoreBase:
     def close(self) -> None:
         self.db.close()
 
-    def reopen(self) -> None:
+    def reopen(self) -> "KVStoreBase":
         """Simulate a crash-restart: rebuild the engine from the
-        manifest log and WAL on the (surviving) simulated drive."""
-        self.db = DB.recover(self.storage, self.options, self.tracker)
+        manifest log and WAL on the (surviving) simulated drive.
+        Returns ``self`` so call sites can chain operations."""
+        self.db = DB.recover(self.storage, self.options, self.tracker,
+                             stats=self.stats)
+        self._wire_obs()
+        return self
+
+    # -- context manager ------------------------------------------------------
+
+    def __enter__(self) -> "KVStoreBase":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     # -- measurements ---------------------------------------------------------
 

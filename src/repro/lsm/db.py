@@ -20,7 +20,7 @@ the paper:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator
 
 from repro import faults
@@ -28,13 +28,14 @@ from repro.errors import InvariantViolation
 from repro.fs.storage import Storage
 from repro.lsm.cache import LRUCache
 from repro.lsm.compaction import Compaction, CompactionPicker, compact_entries
-from repro.lsm.ikey import InternalKey, TYPE_VALUE, lookup_key
+from repro.lsm.ikey import InternalKey, lookup_key
 from repro.lsm.iterator import DBIterator, merge_iterators, take_range
 from repro.lsm.memtable import Memtable
 from repro.lsm.options import Options
 from repro.lsm.sstable import SSTableBuilder, SSTableReader
 from repro.lsm.version import FileMetaData, VersionEdit, VersionSet
 from repro.lsm.wal import LogWriter, WriteBatch, scan_log
+from repro.obs.events import CompactionEnd, CompactionStart, FlushEnd, FlushStart
 from repro.smr.extent import Extent
 from repro.smr.stats import AmplificationTracker
 
@@ -69,6 +70,16 @@ class CompactionRecord:
         return len(self.output_names)
 
 
+def _compaction_end_event(record: CompactionRecord) -> CompactionEnd:
+    return CompactionEnd(
+        ts=record.end_time, index=record.index, level=record.level,
+        output_level=record.output_level,
+        num_inputs=record.num_input_files,
+        num_outputs=record.num_output_files,
+        input_bytes=record.input_bytes, output_bytes=record.output_bytes,
+        duration=record.latency, trivial_move=record.trivial_move)
+
+
 @dataclass
 class FlushRecord:
     """One memtable flush."""
@@ -95,10 +106,12 @@ class DB:
     """An LSM-tree key-value store over a placement policy."""
 
     def __init__(self, storage: Storage, options: Options | None = None,
-                 tracker: AmplificationTracker | None = None) -> None:
+                 tracker: AmplificationTracker | None = None,
+                 stats: DBStats | None = None) -> None:
         self.storage = storage
         self.options = options if options is not None else Options()
         self.tracker = tracker if tracker is not None else AmplificationTracker()
+        self._obs = None
         self.versions = VersionSet(self.options.max_levels,
                                    tiered=self.options.style == "two-tier")
         self.picker = CompactionPicker(self.options, self.versions)
@@ -109,7 +122,9 @@ class DB:
         self._tables: dict[str, SSTableReader] = {}
         self.compaction_records: list[CompactionRecord] = []
         self.flush_records: list[FlushRecord] = []
-        self.stats = DBStats()
+        # Callers (the store facade) may pass a long-lived DBStats so
+        # operation counters survive crash-recovery.
+        self.stats = stats if stats is not None else DBStats()
         self._mem_seed = self.options.seed
 
     # -- convenience ------------------------------------------------------
@@ -154,6 +169,10 @@ class DB:
         if len(self.memtable) == 0:
             return
         start = self.now
+        obs = self._obs
+        if obs is not None:
+            obs.emit(FlushStart(ts=start, entries=len(self.memtable),
+                                nbytes=self.memtable.approximate_size))
         builder = SSTableBuilder(self.options)
         for ikey, value in self.memtable.entries():
             builder.add(ikey, value)
@@ -178,6 +197,10 @@ class DB:
         self.memtable = Memtable(seed=self._mem_seed)
         self.flush_records.append(FlushRecord(start, self.now, meta.name,
                                               props.file_size))
+        if obs is not None:
+            obs.emit(FlushEnd(ts=self.now, name=meta.name,
+                              nbytes=props.file_size,
+                              duration=self.now - start))
         self.maybe_compact()
 
     # -- read path ----------------------------------------------------------
@@ -324,6 +347,14 @@ class DB:
     def run_compaction(self, compaction: Compaction) -> None:
         start = self.now
         version = self.versions.current
+        obs = self._obs
+        if obs is not None:
+            obs.emit(CompactionStart(
+                ts=start, level=compaction.level,
+                output_level=compaction.output_level,
+                num_inputs=len(compaction.all_files),
+                input_bytes=compaction.input_bytes,
+                trivial_move=compaction.is_trivial_move()))
 
         if compaction.is_trivial_move():
             meta = compaction.inputs[0]
@@ -335,12 +366,15 @@ class DB:
             self.versions.compact_pointer[compaction.level] = meta.largest.user_key
             self._persist_manifest(edit)
             extents = self.storage.file_extents(meta.name)
-            self.compaction_records.append(CompactionRecord(
+            record = CompactionRecord(
                 len(self.compaction_records), compaction.level,
                 compaction.output_level, start, self.now,
                 [meta.name], [meta.name], [extents], [extents],
                 meta.size, meta.size, trivial_move=True,
-            ))
+            )
+            self.compaction_records.append(record)
+            if obs is not None:
+                obs.emit(_compaction_end_event(record))
             return
 
         readers = [self._table(meta) for meta in compaction.all_files]
@@ -463,14 +497,17 @@ class DB:
 
         output_bytes = output_total
         self.tracker.add_lsm_write(output_bytes)
-        self.compaction_records.append(CompactionRecord(
+        record = CompactionRecord(
             len(self.compaction_records), compaction.level,
             compaction.output_level, start, self.now,
             [m.name for m in compaction.all_files],
             [m.name for m in output_meta],
             input_extents, output_extents,
             compaction.input_bytes, output_bytes,
-        ))
+        )
+        self.compaction_records.append(record)
+        if obs is not None:
+            obs.emit(_compaction_end_event(record))
 
     def _first_offset(self, name: str) -> int:
         extents = self.storage.file_extents(name)
@@ -525,9 +562,10 @@ class DB:
 
     @classmethod
     def recover(cls, storage: Storage, options: Options | None = None,
-                tracker: AmplificationTracker | None = None) -> "DB":
+                tracker: AmplificationTracker | None = None,
+                stats: DBStats | None = None) -> "DB":
         """Reconstruct a DB from its manifest and WAL after a 'crash'."""
-        db = cls(storage, options, tracker)
+        db = cls(storage, options, tracker, stats=stats)
         tiered = db.options.style == "two-tier"
         for kind, payload in storage.read_meta_records():
             if kind == Storage.META_SNAPSHOT:

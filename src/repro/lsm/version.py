@@ -17,7 +17,7 @@ Invariants (checked by ``Version.check_invariants``):
 
 from __future__ import annotations
 
-from bisect import bisect_left, bisect_right
+from bisect import bisect_right
 from dataclasses import dataclass, field
 
 from repro.errors import CorruptionError, InvariantViolation

@@ -1,0 +1,71 @@
+"""``repro.obs`` — unified observability: typed events, metrics, traces.
+
+One instrumentation surface shared by experiments, benchmarks, the CLI
+(``repro trace`` / ``repro metrics``) and the crash sweeper.  Every
+:class:`~repro.kvstore.KVStoreBase` owns an :class:`Observability`
+handle at ``store.obs``; hooks throughout the drive / filesystem /
+engine layers are free when nothing listens (one falsy check, the same
+pattern as :mod:`repro.faults`).
+
+Quick use::
+
+    import repro
+
+    with repro.open("sealdb") as db:
+        db.obs.subscribe(print, events={"compaction.end"})
+        ...
+        print(db.obs.metrics.render())
+"""
+
+from repro.obs.bus import (
+    Observability,
+    apply_taps,
+    install_tap,
+    remove_tap,
+    tapping,
+)
+from repro.obs.events import (
+    EVENT_TYPES,
+    BandAllocate,
+    BandCoalesce,
+    BandFree,
+    BandSplit,
+    CompactionEnd,
+    CompactionStart,
+    DeleteEvent,
+    Event,
+    ExtentAllocate,
+    FlushEnd,
+    FlushStart,
+    GetEvent,
+    ManifestAppend,
+    MediaCacheClean,
+    PutEvent,
+    RMWEvent,
+    SetFade,
+    SetRegister,
+    WALAppend,
+    ZoneGC,
+    ZoneReset,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    merge_registries,
+)
+from repro.obs.trace import JsonLinesWriter, read_jsonl
+
+__all__ = [
+    "Observability", "apply_taps", "install_tap", "remove_tap", "tapping",
+    "EVENT_TYPES", "Event",
+    "PutEvent", "GetEvent", "DeleteEvent",
+    "FlushStart", "FlushEnd", "CompactionStart", "CompactionEnd",
+    "BandAllocate", "BandFree", "BandCoalesce", "BandSplit",
+    "RMWEvent", "MediaCacheClean", "ZoneReset",
+    "WALAppend", "ManifestAppend", "ExtentAllocate", "ZoneGC",
+    "SetRegister", "SetFade",
+    "Counter", "Gauge", "Histogram", "MetricsRegistry", "merge_registries",
+    "JsonLinesWriter", "read_jsonl",
+]

@@ -1,0 +1,203 @@
+"""Typed events emitted on the observability bus.
+
+Every event carries ``ts`` — the *simulated* drive time (seconds) at
+which the event happened — plus a small, flat payload.  ``TYPE`` is the
+dotted wire name used for subscription filters and the JSON-lines
+``event`` field.  Payloads stay flat (ints / floats / strings / bools)
+so a trace line is one self-contained JSON object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+
+@dataclass
+class Event:
+    """Base class; subclasses set :attr:`TYPE` to their wire name."""
+
+    TYPE = "event"
+
+    ts: float
+
+    def to_dict(self) -> dict:
+        d = {"event": self.TYPE}
+        for f in fields(self):
+            d[f.name] = getattr(self, f.name)
+        return d
+
+
+# -- engine operations --------------------------------------------------------
+
+@dataclass
+class PutEvent(Event):
+    TYPE = "op.put"
+    key_len: int
+    value_len: int
+    latency: float
+
+
+@dataclass
+class GetEvent(Event):
+    TYPE = "op.get"
+    key_len: int
+    hit: bool
+    latency: float
+
+
+@dataclass
+class DeleteEvent(Event):
+    TYPE = "op.delete"
+    key_len: int
+    latency: float
+
+
+@dataclass
+class FlushStart(Event):
+    TYPE = "flush.start"
+    entries: int
+    nbytes: int
+
+
+@dataclass
+class FlushEnd(Event):
+    TYPE = "flush.end"
+    name: str
+    nbytes: int
+    duration: float
+
+
+@dataclass
+class CompactionStart(Event):
+    TYPE = "compaction.start"
+    level: int
+    output_level: int
+    num_inputs: int
+    input_bytes: int
+    trivial_move: bool
+
+
+@dataclass
+class CompactionEnd(Event):
+    TYPE = "compaction.end"
+    index: int
+    level: int
+    output_level: int
+    num_inputs: int
+    num_outputs: int
+    input_bytes: int
+    output_bytes: int
+    duration: float
+    trivial_move: bool
+
+
+# -- dynamic-band allocator ---------------------------------------------------
+
+@dataclass
+class BandAllocate(Event):
+    TYPE = "band.allocate"
+    offset: int
+    nbytes: int
+    mode: str  # "append" (residual frontier) or "insert" (reused hole)
+
+
+@dataclass
+class BandFree(Event):
+    TYPE = "band.free"
+    offset: int
+    nbytes: int
+    to_residual: bool
+
+
+@dataclass
+class BandCoalesce(Event):
+    TYPE = "band.coalesce"
+    offset: int
+    nbytes: int
+    side: str  # "left" or "right"
+
+
+@dataclass
+class BandSplit(Event):
+    TYPE = "band.split"
+    offset: int
+    used: int
+    remainder: int
+
+
+# -- drives -------------------------------------------------------------------
+
+@dataclass
+class RMWEvent(Event):
+    TYPE = "drive.rmw"
+    band: int
+    offset: int
+    nbytes: int
+    moved_bytes: int  # band-prefix bytes re-shingled on top of the payload
+
+
+@dataclass
+class MediaCacheClean(Event):
+    TYPE = "drive.cache_clean"
+    bands: int
+    nbytes: int
+
+
+@dataclass
+class ZoneReset(Event):
+    TYPE = "zone.reset"
+    zone: int
+
+
+# -- filesystem / log layers --------------------------------------------------
+
+@dataclass
+class WALAppend(Event):
+    TYPE = "wal.append"
+    nbytes: int
+
+
+@dataclass
+class ManifestAppend(Event):
+    TYPE = "manifest.append"
+    nbytes: int
+
+
+@dataclass
+class ExtentAllocate(Event):
+    TYPE = "fs.alloc"
+    nbytes: int
+    extents: int  # 1 == contiguous
+
+
+@dataclass
+class ZoneGC(Event):
+    TYPE = "zone.gc"
+    zone: int
+    moved_bytes: int
+
+
+@dataclass
+class SetRegister(Event):
+    TYPE = "set.register"
+    members: int
+    nbytes: int
+
+
+@dataclass
+class SetFade(Event):
+    TYPE = "set.fade"
+    nbytes: int
+
+
+#: wire name -> event class, for filter validation and trace replay
+EVENT_TYPES: dict[str, type[Event]] = {
+    cls.TYPE: cls
+    for cls in (
+        PutEvent, GetEvent, DeleteEvent, FlushStart, FlushEnd,
+        CompactionStart, CompactionEnd, BandAllocate, BandFree,
+        BandCoalesce, BandSplit, RMWEvent, MediaCacheClean, ZoneReset,
+        WALAppend, ManifestAppend, ExtentAllocate, ZoneGC,
+        SetRegister, SetFade,
+    )
+}

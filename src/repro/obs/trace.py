@@ -1,0 +1,48 @@
+"""JSON-lines trace writer / reader for the event bus.
+
+One event per line::
+
+    {"ts": 0.01342, "store": "SEALDB", "event": "band.allocate",
+     "offset": 268435456, "nbytes": 2097152, "mode": "append"}
+
+``JsonLinesWriter.bound(name)`` returns a subscriber callback tagged
+with the store name, so one writer can multiplex every store an
+experiment constructs into a single ordered stream.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, IO, Iterable
+
+from repro.obs.events import Event
+
+
+class JsonLinesWriter:
+    """Serialise bus events to a text stream, one JSON object per line."""
+
+    def __init__(self, stream: IO[str]) -> None:
+        self.stream = stream
+        self.lines = 0
+
+    def bound(self, store_name: str) -> Callable[[Event], None]:
+        """A subscriber that tags every event with ``store_name``."""
+        def write(event: Event) -> None:
+            d = event.to_dict()
+            line = {"ts": round(d.pop("ts"), 9),
+                    "store": store_name,
+                    "event": d.pop("event")}
+            line.update(d)
+            self.stream.write(json.dumps(line) + "\n")
+            self.lines += 1
+        return write
+
+
+def read_jsonl(lines: Iterable[str]) -> list[dict]:
+    """Parse a JSON-lines trace back into dicts (blank lines skipped)."""
+    out = []
+    for line in lines:
+        line = line.strip()
+        if line:
+            out.append(json.loads(line))
+    return out

@@ -1,0 +1,93 @@
+"""Store registry and the single public entry point ``repro.open``.
+
+Every store class registers itself under its CLI kind name::
+
+    @register_store("sealdb")
+    class SealDB(KVStoreBase):
+        ...
+
+and callers construct stores uniformly::
+
+    import repro
+
+    with repro.open("sealdb") as db:                 # default profile
+        ...
+    db = repro.open("leveldb", profile=SMALL_PROFILE, drive_kind="hdd")
+
+``repro.open`` replaces the per-module wiring that used to live in
+``harness.runner.make_store`` (now a thin deprecated alias) and applies
+any installed observability taps (:func:`repro.obs.tapping`), which is
+how ``repro trace`` / ``repro metrics`` instrument stores that
+experiments construct internally.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.errors import ReproError
+from repro.harness.profiles import DEFAULT_PROFILE, ScaleProfile
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kvstore import KVStoreBase
+
+_REGISTRY: dict[str, Callable[..., "KVStoreBase"]] = {}
+_ALIASES: dict[str, str] = {
+    "leveldb_sets": "leveldb+sets",  # shell-friendly spelling
+}
+_builtin_loaded = False
+
+
+def register_store(kind: str, *aliases: str):
+    """Class decorator: make ``kind`` constructible via ``repro.open``."""
+    def decorate(cls):
+        _REGISTRY[kind] = cls
+        for alias in aliases:
+            _ALIASES[alias] = kind
+        return cls
+    return decorate
+
+
+def _ensure_builtin() -> None:
+    """Import the bundled store modules so their decorators run.
+
+    Lazy because the store modules import ``harness.profiles`` — a
+    top-level import here would be circular.
+    """
+    global _builtin_loaded
+    if _builtin_loaded:
+        return
+    _builtin_loaded = True
+    import repro.baselines.leveldb      # noqa: F401
+    import repro.baselines.leveldb_sets  # noqa: F401
+    import repro.baselines.smrdb        # noqa: F401
+    import repro.baselines.zonekv       # noqa: F401
+    import repro.core.sealdb            # noqa: F401
+
+
+def store_kinds() -> tuple[str, ...]:
+    """The registered store kinds, sorted."""
+    _ensure_builtin()
+    return tuple(sorted(_REGISTRY))
+
+
+def open_store(kind: str, *, profile: ScaleProfile = DEFAULT_PROFILE,
+               **overrides) -> "KVStoreBase":
+    """Construct a store by kind name — the public entry point
+    (exported as ``repro.open``).
+
+    ``overrides`` are forwarded to the store constructor (``capacity``,
+    ``clock``, drive/placement knobs, plus any ``Options`` overrides
+    the store accepts).
+    """
+    _ensure_builtin()
+    key = kind.lower()
+    key = _ALIASES.get(key, key)
+    cls = _REGISTRY.get(key)
+    if cls is None:
+        raise ReproError(
+            f"unknown store kind {kind!r}; choose from {store_kinds()}")
+    store = cls(profile, **overrides)
+    from repro.obs.bus import apply_taps
+    apply_taps(store)
+    return store

@@ -29,6 +29,8 @@ class Drive(ABC):
         self.model = DiskTimingModel(profile=profile, capacity=capacity, clock=self.clock)
         self.stats = DriveStats()
         self._data = bytearray(capacity)
+        #: observability bus; None while no subscriber (zero-cost hooks)
+        self._obs = None
 
     @property
     def now(self) -> float:

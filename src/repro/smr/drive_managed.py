@@ -25,6 +25,7 @@ disks:
 
 from __future__ import annotations
 
+from repro.obs.events import MediaCacheClean, RMWEvent
 from repro.smr.drive import Drive
 from repro.smr.timing import DriveProfile, SMR_PROFILE, SimClock
 
@@ -96,6 +97,10 @@ class DriveManagedSMRDrive(Drive):
                                     category, seeked=True, now=self.clock.now,
                                     rmw=True)
             self._frontier[band] = band_start + prefix
+            obs = self._obs
+            if obs is not None:
+                obs.emit(RMWEvent(ts=self.clock.now, band=band, offset=offset,
+                                  nbytes=length, moved_bytes=prefix - length))
             return
 
         # non-sequential: absorb into the media cache (sequential append
@@ -120,6 +125,8 @@ class DriveManagedSMRDrive(Drive):
         every cleaned band adds a full band of device write traffic.
         """
         self.cleanings += 1
+        start = self.clock.now
+        folded = 0
         for band in sorted(self._dirty_bands):
             band_start = self.native_start + band * self.band_size
             prefix = self._frontier[band] - band_start
@@ -134,6 +141,11 @@ class DriveManagedSMRDrive(Drive):
             self.stats.record_write(band_start, prefix, write_elapsed,
                                     category, seeked=True, now=self.clock.now,
                                     rmw=True)
+            folded += prefix
+        obs = self._obs
+        if obs is not None:
+            obs.emit(MediaCacheClean(ts=start, bands=len(self._dirty_bands),
+                                     nbytes=folded))
         self._dirty.clear()
         self._dirty_bands.clear()
         self._cache_used = 0

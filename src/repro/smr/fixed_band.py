@@ -22,6 +22,7 @@ a real drive would handle them.
 
 from __future__ import annotations
 
+from repro.obs.events import RMWEvent
 from repro.smr.drive import Drive
 from repro.smr.timing import DriveProfile, SMR_PROFILE, SimClock
 
@@ -99,6 +100,10 @@ class FixedBandSMRDrive(Drive):
                                     seeked=False, now=self.clock.now, rmw=True)
             self._data[offset:end] = data
             self._frontier[band] = new_frontier
+            obs = self._obs
+            if obs is not None:
+                obs.emit(RMWEvent(ts=self.clock.now, band=band, offset=offset,
+                                  nbytes=len(data), moved_bytes=0))
             return
 
         if offset == band_start and end >= frontier:
@@ -129,6 +134,11 @@ class FixedBandSMRDrive(Drive):
                                 seeked=True, now=self.clock.now, rmw=True)
         self._frontier[band] = new_frontier
         self._open_band = band
+        obs = self._obs
+        if obs is not None:
+            obs.emit(RMWEvent(ts=self.clock.now, band=band, offset=offset,
+                              nbytes=len(data),
+                              moved_bytes=prefix_len - len(data)))
 
     def trim(self, offset: int, length: int) -> None:
         """Reset a band's frontier when its entire written prefix is trimmed.

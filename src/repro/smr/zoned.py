@@ -23,6 +23,7 @@ reappears.
 from __future__ import annotations
 
 from repro.errors import DriveError
+from repro.obs.events import ZoneReset
 from repro.smr.drive import Drive
 from repro.smr.timing import DriveProfile, SMR_PROFILE, SimClock
 
@@ -86,6 +87,9 @@ class ZonedDrive(Drive):
             raise DriveError(f"no such zone {zone}")
         self._wp[zone] = zone * self.zone_size
         self.zone_resets += 1
+        obs = self._obs
+        if obs is not None:
+            obs.emit(ZoneReset(ts=self.clock.now, zone=zone))
 
     def trim(self, offset: int, length: int) -> None:
         """Zones only reset wholesale; byte trims are advisory no-ops."""

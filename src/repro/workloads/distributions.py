@@ -13,7 +13,6 @@
 
 from __future__ import annotations
 
-import math
 
 from repro.util.rng import hash64, make_rng
 

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import base64
 import pathlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Iterator
 
 from repro.errors import ReproError

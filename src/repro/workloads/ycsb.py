@@ -142,7 +142,7 @@ class YCSBRunner:
                 result.scans += 1
             else:
                 key = self.kv.scrambled_key(chooser())
-                value = store.get(key)
+                store.get(key)
                 new = self.kv.value(chooser())
                 store.put(key, new)
                 result.rmws += 1

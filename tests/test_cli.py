@@ -1,5 +1,6 @@
 """Tests for the command-line interface."""
 
+import json
 import pathlib
 
 import pytest
@@ -56,3 +57,72 @@ class TestCliRun:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             cli.main([])
+
+
+class TestCliTrace:
+    def test_trace_fig10_emits_parseable_jsonl(self, capsys,
+                                               tmp_path: pathlib.Path):
+        """Regression: ``repro trace fig10 --db-mib 8`` streams a
+        JSON-lines event log covering compaction, band, and RMW
+        activity across the three fig10 stores."""
+        out = tmp_path / "fig10.jsonl"
+        assert cli.main(["trace", "fig10", "--db-mib", "8",
+                         "-o", str(out)]) == 0
+        assert "trace:" in capsys.readouterr().err
+        lines = out.read_text().splitlines()
+        assert len(lines) > 1000
+        seen_events, seen_stores = set(), set()
+        for line in lines:
+            record = json.loads(line)
+            assert {"ts", "store", "event"} <= record.keys()
+            seen_events.add(record["event"])
+            seen_stores.add(record["store"])
+        assert {"compaction.start", "compaction.end", "band.allocate",
+                "drive.rmw", "flush.end", "op.put"} <= seen_events
+        assert {"LevelDB", "SMRDB", "SEALDB"} <= seen_stores
+
+    def test_trace_event_filter(self, capsys, tmp_path: pathlib.Path):
+        out = tmp_path / "filtered.jsonl"
+        assert cli.main(["trace", "fig13", "--db-mib", "1",
+                         "--events", "compaction.end,band.allocate",
+                         "-o", str(out)]) == 0
+        events = {json.loads(line)["event"]
+                  for line in out.read_text().splitlines()}
+        assert events == {"compaction.end", "band.allocate"}
+
+    def test_trace_unknown_event_rejected(self, capsys):
+        assert cli.main(["trace", "fig13", "--events", "bogus"]) == 2
+        captured = capsys.readouterr()
+        assert "unknown event type" in captured.out + captured.err
+
+
+class TestCliMetrics:
+    def test_metrics_reports_latency_percentiles(self, capsys):
+        assert cli.main(["metrics", "fig13", "--db-mib", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 13" in out                 # experiment table intact
+        assert "SEALDB metrics" in out
+        assert "latency.put" in out
+        assert "p50" in out and "p99" in out
+        assert "ops.put" in out
+
+    def test_metrics_json(self, capsys):
+        assert cli.main(["metrics", "fig13", "--db-mib", "1",
+                         "--json"]) == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out[out.index("{"):])
+        assert "SEALDB" in payload
+        assert payload["SEALDB"]["counters"]["ops.put"] > 0
+
+
+class TestCliBaseline:
+    def test_baseline_round_trips(self, capsys, tmp_path: pathlib.Path):
+        out = tmp_path / "base.json"
+        assert cli.main(["baseline", "--db-mib", "2",
+                         "-o", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        assert payload["experiment"] == "fig08"
+        assert "fillrandom" in payload["ops_per_sec"]
+        for store, ops in payload["latency_seconds"].items():
+            for op, stats in ops.items():
+                assert stats["p50"] <= stats["p99"] <= stats["p999"]

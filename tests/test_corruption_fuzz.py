@@ -9,9 +9,7 @@ correct-or-raising.)
 """
 
 from hypothesis import given, settings, strategies as st
-import pytest
-
-from repro.errors import CorruptionError, ReproError
+from repro.errors import ReproError
 from repro.lsm.block import Block, BlockBuilder
 from repro.lsm.ikey import InternalKey, TYPE_VALUE
 from repro.lsm.options import Options

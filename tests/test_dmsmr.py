@@ -130,6 +130,5 @@ class TestDriveManagedSMR:
         base = d.native_start
         d.write(base, b"a" * d.band_size)
         d.trim(base, d.band_size)
-        t0 = d.now
         d.write(base, b"b" * 4 * KiB)      # sequential again, no cache
         assert d._cache_used == 0

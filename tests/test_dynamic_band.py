@@ -114,7 +114,7 @@ class TestFreeAndCoalesce:
 
     def test_free_at_tail_returns_to_residual(self):
         m, _ = make_manager()
-        a = m.allocate(16 * KiB)
+        m.allocate(16 * KiB)
         b = m.allocate(16 * KiB)
         m.free(b, 16 * KiB)
         assert m.tail == 16 * KiB
@@ -137,7 +137,7 @@ class TestFreeAndCoalesce:
     def test_trim_called_on_drive(self):
         m, drive = make_manager()
         a = m.allocate(16 * KiB)
-        b = m.allocate(4 * KiB)
+        m.allocate(4 * KiB)
         drive.write(a, b"x" * 16 * KiB)
         m.free(a, 16 * KiB)
         assert drive.valid.covered_bytes(a, a + 16 * KiB) == 0
@@ -169,7 +169,7 @@ class TestDerivedLayout:
     def test_counters(self):
         m, drive = make_manager()
         assert m.occupied_bytes() == 0
-        a = m.allocate(16 * KiB)
+        m.allocate(16 * KiB)
         assert m.occupied_bytes() == 16 * KiB
         assert m.allocated_bytes() == 16 * KiB
 

@@ -5,8 +5,6 @@ the paper's shapes; these tests only verify that each experiment runs,
 returns a structurally sound result, and renders.
 """
 
-import pytest
-
 from repro.experiments import (
     fig02_sstable_scatter,
     fig03_band_amplification,

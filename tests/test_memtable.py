@@ -2,7 +2,7 @@
 
 from hypothesis import given, strategies as st
 
-from repro.lsm.ikey import TYPE_DELETION, TYPE_VALUE, InternalKey, lookup_key
+from repro.lsm.ikey import TYPE_DELETION, TYPE_VALUE, lookup_key
 from repro.lsm.memtable import Memtable
 
 

@@ -1,0 +1,210 @@
+"""Tests for the observability layer (repro.obs): event bus, typed
+events, metrics registry, and the zero-cost disarmed fast path."""
+
+import json
+
+import repro
+from repro.obs import (
+    EVENT_TYPES,
+    Histogram,
+    MetricsRegistry,
+    Observability,
+    PutEvent,
+)
+from repro.workloads.generators import KeyValueGenerator
+
+from tests.conftest import TEST_PROFILE
+
+
+def _loaded_store(events=None, n=4000):
+    """A sealdb store with every event collected during a write-heavy
+    load (enough to trigger flushes and compactions)."""
+    store = repro.open("sealdb", profile=TEST_PROFILE)
+    collected = []
+    store.obs.subscribe(collected.append, events)
+    kv = KeyValueGenerator(16, 100)
+    for i in range(n):
+        store.put(kv.scrambled_key(i % (n // 2)), kv.value(i))
+    store.flush()
+    return store, collected
+
+
+class TestEventStream:
+    def test_event_ordering(self):
+        _store, events = _loaded_store()
+        names = [e.TYPE for e in events]
+        assert "flush.end" in names
+        assert "compaction.end" in names
+        # The first compaction can only run after at least one memtable
+        # flush produced an input file.
+        assert names.index("flush.end") < names.index("compaction.end")
+        # Every compaction.end is preceded by at least as many starts.
+        starts = ends = 0
+        for n in names:
+            starts += n == "compaction.start"
+            ends += n == "compaction.end"
+            assert ends <= starts
+        # Per event type, timestamps never run backwards (simulated
+        # clock).  Globally they may interleave: op.put carries its
+        # *start* time but is emitted after the wal.append it caused.
+        by_type = {}
+        for e in events:
+            by_type.setdefault(e.TYPE, []).append(e.ts)
+        for ts in by_type.values():
+            assert all(a <= b for a, b in zip(ts, ts[1:]))
+
+    def test_band_and_set_events_on_sealdb(self):
+        _store, events = _loaded_store()
+        names = {e.TYPE for e in events}
+        assert {"band.allocate", "band.split", "set.register",
+                "wal.append", "op.put"} <= names
+
+    def test_event_filter(self):
+        _store, events = _loaded_store(events={"compaction.end"})
+        assert events
+        assert {e.TYPE for e in events} == {"compaction.end"}
+
+    def test_events_serialize_to_json(self):
+        _store, events = _loaded_store()
+        for event in events[:200]:
+            line = json.dumps(event.to_dict())
+            parsed = json.loads(line)
+            assert parsed["event"] == event.TYPE
+            assert isinstance(parsed["ts"], float)
+
+    def test_every_event_type_is_named(self):
+        for name, cls in EVENT_TYPES.items():
+            assert cls.TYPE == name
+
+
+class TestZeroCostPath:
+    def test_disarmed_components_hold_none(self):
+        store = repro.open("sealdb", profile=TEST_PROFILE)
+        assert store._obs is None
+        assert store.db._obs is None
+        assert store.drive._obs is None
+        assert store.storage._obs is None
+
+    def test_subscribe_arms_unsubscribe_disarms(self):
+        store = repro.open("sealdb", profile=TEST_PROFILE)
+        cb = store.obs.subscribe(lambda e: None)
+        assert store.obs.armed
+        assert store._obs is store.obs
+        assert store.db._obs is store.obs
+        store.obs.unsubscribe(cb)
+        assert not store.obs.armed
+        assert store._obs is None
+        assert store.db._obs is None
+
+    def test_explicit_arm_holds_without_subscribers(self):
+        store = repro.open("sealdb", profile=TEST_PROFILE)
+        store.obs.arm()
+        cb = store.obs.subscribe(lambda e: None)
+        store.obs.unsubscribe(cb)
+        assert store.obs.armed          # arm() keeps it live
+        store.obs.disarm()
+        assert not store.obs.armed
+        assert store._obs is None
+
+    def test_armed_and_disarmed_runs_agree_on_simulated_time(self):
+        def load(store):
+            kv = KeyValueGenerator(16, 100)
+            for i in range(2500):
+                store.put(kv.scrambled_key(i % 1000), kv.value(i))
+            store.flush()
+            return store.now
+
+        plain = repro.open("sealdb", profile=TEST_PROFILE)
+        observed = repro.open("sealdb", profile=TEST_PROFILE)
+        observed.obs.arm()
+        assert load(plain) == load(observed)
+
+    def test_rewired_after_reopen(self):
+        store = repro.open("sealdb", profile=TEST_PROFILE)
+        store.obs.arm()
+        store.put(b"k", b"v")
+        old_db = store.db
+        store.reopen()
+        assert old_db is not store.db
+        assert store.db._obs is store.obs   # new engine rebound
+        store.put(b"k2", b"v2")
+        assert store.obs.metrics.value("ops.put") == 2
+
+
+class TestMetrics:
+    def test_op_counters_and_latency(self):
+        store = repro.open("sealdb", profile=TEST_PROFILE)
+        store.obs.arm()
+        for i in range(50):
+            store.put(b"key-%03d" % i, b"v" * 64)
+        store.get(b"key-001")
+        store.get(b"missing")
+        m = store.obs.metrics
+        assert m.value("ops.put") == 50
+        assert m.value("ops.get") == 2
+        assert m.value("ops.get_hit") == 1
+        assert m.histograms["latency.put"].count == 50
+        assert m.histograms["latency.put"].percentile(50) >= 0.0
+
+    def test_lazy_gauges_track_store(self):
+        store, _events = _loaded_store()
+        m = store.obs.metrics
+        assert m.value("amp.wa") == store.wa()
+        assert m.value("amp.mwa") == store.mwa()
+        assert m.value("band.count") == len(store.band_manager.bands())
+
+    def test_histogram_percentiles_within_resolution(self):
+        h = Histogram("unit")
+        for v in range(1, 1001):
+            h.record(v / 1000.0)
+        # Log-bucketed: ~2.3 % relative error per bucket.
+        assert abs(h.percentile(50) - 0.5) / 0.5 < 0.05
+        assert abs(h.percentile(99) - 0.99) / 0.99 < 0.05
+        assert h.count == 1000
+
+    def test_histogram_merge(self):
+        a, b = Histogram("a"), Histogram("b")
+        for v in (0.001, 0.002):
+            a.record(v)
+        for v in (0.003, 0.004):
+            b.record(v)
+        a.merge(b)
+        assert a.count == 4
+        assert a.percentile(100) >= a.percentile(0)
+
+    def test_registry_merge(self):
+        r1, r2 = MetricsRegistry(), MetricsRegistry()
+        r1.counter("x").inc(2)
+        r2.counter("x").inc(3)
+        r2.counter("y").inc(1)
+        merged = MetricsRegistry()
+        merged.merge(r1)
+        merged.merge(r2)
+        assert merged.value("x") == 5
+        assert merged.value("y") == 1
+
+    def test_render_mentions_percentiles(self):
+        store, _events = _loaded_store()
+        text = store.obs.metrics.render(title="t")
+        assert "p50" in text and "p99" in text
+        assert "latency.put" in text
+
+
+class TestBusUnit:
+    def test_emit_without_subscribers_still_counts(self):
+        bus = Observability("unit")
+        bus.emit(PutEvent(ts=0.0, key_len=3, value_len=5, latency=0.001))
+        assert bus.metrics.value("ops.put") == 1
+
+    def test_bind_rebind_while_armed(self):
+        class C:
+            _obs = None
+
+        bus = Observability("unit")
+        c1, c2 = C(), C()
+        bus.bind(c1)
+        bus.arm()
+        assert c1._obs is bus
+        bus.bind(c2)
+        assert c1._obs is None
+        assert c2._obs is bus

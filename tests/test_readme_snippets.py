@@ -1,24 +1,36 @@
 """The README's quickstart code must keep working verbatim."""
 
-from repro import SealDB, DEFAULT_PROFILE, SMALL_PROFILE
+import repro
+from repro import DEFAULT_PROFILE, SMALL_PROFILE
 
 
 def test_readme_quickstart_snippet():
-    db = SealDB(SMALL_PROFILE)          # README uses DEFAULT_PROFILE;
-    db.put(b"key", b"value")            # SMALL keeps the test quick
-    assert db.get(b"key") == b"value"
-    db.delete(b"key")
+    # README opens with the default profile; SMALL keeps the test quick.
+    with repro.open("sealdb", profile=SMALL_PROFILE) as db:
+        db.put(b"key", b"value")
+        assert db.get(b"key") == b"value"
+        db.delete(b"key")
 
-    for _k, _v in db.scan(b"a", b"z", limit=10):
-        pass
+        for _k, _v in db.scan(b"a", b"z", limit=10):
+            pass
 
-    assert db.wa() >= 0.0
-    assert db.awa() >= 0.0
-    assert db.mwa() >= 0.0
-    assert isinstance(db.band_manager.bands(), list)
+        assert db.wa() >= 0.0
+        assert db.awa() >= 0.0
+        assert db.mwa() >= 0.0
+        assert isinstance(db.band_manager.bands(), list)
+
+
+def test_readme_public_api_snippet():
+    db = repro.open("sealdb", profile=SMALL_PROFILE)
+    db.obs.arm()
+    seen = []
+    db.obs.subscribe(seen.append, {"compaction.end"})
+    db.put(b"key", b"value")
+    text = db.obs.metrics.render()
+    assert "ops.put" in text
 
 
 def test_default_profile_constructs():
-    db = SealDB(DEFAULT_PROFILE)
+    db = repro.open("sealdb", profile=DEFAULT_PROFILE)
     db.put(b"key", b"value")
     assert db.get(b"key") == b"value"

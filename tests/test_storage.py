@@ -6,7 +6,6 @@ from repro.core.storage import DynamicBandStorage
 from repro.errors import (
     AllocationError,
     FileNotFoundStorageError,
-    ShingleOverwriteError,
     StorageError,
 )
 from repro.fs.ext4sim import Ext4Allocator, Ext4Storage

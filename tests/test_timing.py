@@ -4,7 +4,6 @@ import pytest
 
 from repro.smr.timing import (
     DiskTimingModel,
-    DriveProfile,
     HDD_PROFILE,
     SMR_PROFILE,
     SimClock,
