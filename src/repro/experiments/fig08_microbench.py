@@ -61,6 +61,75 @@ def run(db_bytes: int | None = None, read_ops: int = DEFAULT_READ_OPS,
     return MicroSuiteResult(db_bytes, read_ops, results)
 
 
+@dataclass
+class ShardScalingResult:
+    """Sharded extension of Fig. 8: the micro suite per shard count.
+
+    ``results[n][workload]`` is the :class:`WorkloadResult` of the
+    ``n``-shard store; sim-seconds use the max-timeline (parallel
+    wall-clock) convention of :class:`repro.shard.ShardedStore`, and
+    ``timelines[n]`` keeps the per-shard clocks after the suite.
+    """
+
+    db_bytes: int
+    read_ops: int
+    kind: str
+    shard_counts: tuple[int, ...]
+    results: dict[int, dict[str, WorkloadResult]]
+    timelines: dict[int, list[float]]
+
+    def speedup(self, workload: str, shards: int) -> float:
+        base = self.results[self.shard_counts[0]][workload].ops_per_sec
+        if base == 0:
+            return 0.0
+        return self.results[shards][workload].ops_per_sec / base
+
+
+def run_sharded(db_bytes: int | None = None, read_ops: int = DEFAULT_READ_OPS,
+                profile: ScaleProfile = DEFAULT_PROFILE, seed: int = 0,
+                kind: str = "sealdb",
+                shard_counts: tuple[int, ...] = (1, 2, 4),
+                router: str = "hash") -> ShardScalingResult:
+    """The Fig. 8 suite for one store kind at several shard counts —
+    the throughput-scaling curve of the sharded frontend."""
+    if db_bytes is None:
+        db_bytes = scaled_bytes(DEFAULT_DB_BYTES)
+    results: dict[int, dict[str, WorkloadResult]] = {}
+    timelines: dict[int, list[float]] = {}
+    for shards in shard_counts:
+        runner = ExperimentRunner(profile, (kind,), seed=seed,
+                                  shards=shards, router=router)
+        suite = runner.run_micro_suite(db_bytes, read_ops)
+        results[shards] = {workload: next(iter(by_store.values()))
+                           for workload, by_store in suite.items()}
+        store = next(iter(runner.stores.values()))
+        timelines[shards] = ([shard.now for shard in store.shards]
+                             if hasattr(store, "shards") else [store.now])
+    return ShardScalingResult(db_bytes, read_ops, kind,
+                              tuple(shard_counts), results, timelines)
+
+
+def render_sharded(result: ShardScalingResult) -> str:
+    workloads = ("fillseq", "fillrandom", "readseq", "readrandom")
+    rows = []
+    for shards in result.shard_counts:
+        row = [str(shards)]
+        for workload in workloads:
+            r = result.results[shards][workload]
+            row.append(f"{r.ops_per_sec:,.0f} "
+                       f"({result.speedup(workload, shards):.2f}x)")
+        clocks = result.timelines[shards]
+        row.append(f"{max(clocks):.1f}s / {sum(clocks):.1f}s")
+        rows.append(row)
+    return render_table(
+        f"Fig. 8 (sharded): {result.kind} micro-benchmark ops/s by shard "
+        "count (speedup vs 1 shard; right column: max / total shard-seconds "
+        "after the random-load database's reads)",
+        ["shards", *workloads, "wall/total"],
+        rows,
+    )
+
+
 def render(result: MicroSuiteResult) -> str:
     stores = list(next(iter(result.results.values())).keys())
     rows = []

@@ -24,6 +24,36 @@ class WorkloadResult:
 
 
 @dataclass
+class ShardTimeline:
+    """Simulated seconds spent per shard over one phase (or since
+    construction), with the two aggregates a sharded run reports:
+    ``max_seconds`` — the parallel wall-clock (slowest shard) — and
+    ``total_seconds`` — aggregate device-seconds across all drives."""
+
+    per_shard: list[float] = field(default_factory=list)
+
+    @property
+    def max_seconds(self) -> float:
+        return max(self.per_shard) if self.per_shard else 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.per_shard)
+
+    @property
+    def balance(self) -> float:
+        """Mean/max shard time: 1.0 = perfectly balanced load."""
+        if not self.per_shard or self.max_seconds == 0.0:
+            return 1.0
+        return (self.total_seconds / len(self.per_shard)) / self.max_seconds
+
+    def render(self) -> str:
+        cells = " ".join(f"{s:.3f}" for s in self.per_shard)
+        return (f"shards=[{cells}] max={self.max_seconds:.3f}s "
+                f"total={self.total_seconds:.3f}s balance={self.balance:.2f}")
+
+
+@dataclass
 class CompactionSummary:
     """Aggregate compaction behaviour of one run (Fig. 10)."""
 

@@ -39,11 +39,18 @@ class ExperimentRunner:
 
     def __init__(self, profile: ScaleProfile = DEFAULT_PROFILE,
                  store_kinds: tuple[str, ...] = ("leveldb", "smrdb", "sealdb"),
-                 seed: int = 0) -> None:
+                 seed: int = 0, shards: int = 1, router: str = "hash") -> None:
         self.profile = profile
         self.store_kinds = store_kinds
         self.seed = seed
+        self.shards = shards
+        self.router = router
         self.stores: dict[str, KVStoreBase] = {}
+
+    def open(self, kind: str) -> KVStoreBase:
+        """One fresh store (sharded when the runner is configured so)."""
+        return open_store(kind, profile=self.profile, shards=self.shards,
+                          router=self.router)
 
     def kv(self) -> KeyValueGenerator:
         return KeyValueGenerator(self.profile.key_size, self.profile.value_size)
@@ -61,12 +68,12 @@ class ExperimentRunner:
             w: {} for w in ("fillseq", "fillrandom", "readseq", "readrandom")
         }
         for kind in self.store_kinds:
-            seq_store = open_store(kind, profile=self.profile)
+            seq_store = self.open(kind)
             r = bench.fill_seq(seq_store)
             results["fillseq"][seq_store.name] = WorkloadResult(
                 seq_store.name, r.workload, r.ops, r.sim_seconds)
 
-            rand_store = open_store(kind, profile=self.profile)
+            rand_store = self.open(kind)
             r = bench.fill_random(rand_store)
             results["fillrandom"][rand_store.name] = WorkloadResult(
                 rand_store.name, r.workload, r.ops, r.sim_seconds)
@@ -84,6 +91,6 @@ class ExperimentRunner:
     def run_custom(self, kind: str,
                    phase: Callable[[KVStoreBase], WorkloadResult]
                    ) -> WorkloadResult:
-        store = open_store(kind, profile=self.profile)
+        store = self.open(kind)
         self.stores[store.name] = store
         return phase(store)

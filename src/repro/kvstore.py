@@ -19,10 +19,10 @@ from __future__ import annotations
 from typing import Iterator
 
 from repro.fs.storage import Storage
-from repro.lsm.db import DB, CompactionRecord, DBStats
+from repro.lsm.db import DB, CompactionRecord, DBStats, Snapshot
 from repro.lsm.options import Options
 from repro.obs.bus import Observability
-from repro.obs.events import DeleteEvent, GetEvent, PutEvent
+from repro.obs.events import DeleteEvent, GetEvent, PutEvent, ScanEvent
 from repro.smr.drive import Drive
 from repro.smr.stats import AmplificationTracker
 
@@ -98,7 +98,34 @@ class KVStoreBase:
 
     def scan(self, start: bytes | None = None, end: bytes | None = None,
              limit: int | None = None) -> Iterator[tuple[bytes, bytes]]:
-        return self.db.scan(start, end, limit)
+        if self._obs is None:
+            return self.db.scan(start, end, limit)
+        return self._observed_scan(self.db.scan(start, end, limit))
+
+    def _observed_scan(self, pairs: Iterator[tuple[bytes, bytes]]
+                       ) -> Iterator[tuple[bytes, bytes]]:
+        """Wrap a lazy scan so one ``ScanEvent`` records the keys
+        actually yielded; abandoned scans still report on close."""
+        t0 = self.drive.now
+        keys = 0
+        try:
+            for pair in pairs:
+                yield pair
+                keys += 1
+        finally:
+            obs = self._obs
+            if obs is not None:
+                obs.emit(ScanEvent(ts=t0, keys=keys,
+                                   latency=self.drive.now - t0))
+
+    def snapshot(self) -> Snapshot:
+        """A consistent point-in-time read view (context manager whose
+        ``get``/``scan`` pin the engine sequence number)::
+
+            with db.snapshot() as snap:
+                old = snap.get(key)
+        """
+        return self.db.snapshot()
 
     def write_batch(self, batch) -> None:
         """Apply a :class:`~repro.lsm.wal.WriteBatch` atomically."""

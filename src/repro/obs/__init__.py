@@ -42,6 +42,7 @@ from repro.obs.events import (
     MediaCacheClean,
     PutEvent,
     RMWEvent,
+    ScanEvent,
     SetFade,
     SetRegister,
     WALAppend,
@@ -60,7 +61,7 @@ from repro.obs.trace import JsonLinesWriter, read_jsonl
 __all__ = [
     "Observability", "apply_taps", "install_tap", "remove_tap", "tapping",
     "EVENT_TYPES", "Event",
-    "PutEvent", "GetEvent", "DeleteEvent",
+    "PutEvent", "GetEvent", "DeleteEvent", "ScanEvent",
     "FlushStart", "FlushEnd", "CompactionStart", "CompactionEnd",
     "BandAllocate", "BandFree", "BandCoalesce", "BandSplit",
     "RMWEvent", "MediaCacheClean", "ZoneReset",

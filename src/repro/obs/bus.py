@@ -144,6 +144,12 @@ def _on_delete(m: MetricsRegistry, e) -> None:
     m.histogram("latency.delete").record(e.latency)
 
 
+def _on_scan(m: MetricsRegistry, e) -> None:
+    m.counter("ops.scan").inc()
+    m.counter("ops.scan_keys").inc(e.keys)
+    m.histogram("latency.scan").record(e.latency)
+
+
 def _on_flush_end(m: MetricsRegistry, e) -> None:
     m.counter("flush.count").inc()
     m.counter("flush.bytes").inc(e.nbytes)
@@ -194,6 +200,7 @@ _METRIC_UPDATES: dict[str, Callable[[MetricsRegistry, Event], None]] = {
     "op.put": _on_put,
     "op.get": _on_get,
     "op.delete": _on_delete,
+    "op.scan": _on_scan,
     "flush.end": _on_flush_end,
     "compaction.start": _count("compaction.started"),
     "compaction.end": _on_compaction_end,

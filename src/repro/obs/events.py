@@ -53,6 +53,13 @@ class DeleteEvent(Event):
 
 
 @dataclass
+class ScanEvent(Event):
+    TYPE = "op.scan"
+    keys: int  # pairs actually yielded (after limit / early break)
+    latency: float
+
+
+@dataclass
 class FlushStart(Event):
     TYPE = "flush.start"
     entries: int
@@ -194,7 +201,7 @@ class SetFade(Event):
 EVENT_TYPES: dict[str, type[Event]] = {
     cls.TYPE: cls
     for cls in (
-        PutEvent, GetEvent, DeleteEvent, FlushStart, FlushEnd,
+        PutEvent, GetEvent, DeleteEvent, ScanEvent, FlushStart, FlushEnd,
         CompactionStart, CompactionEnd, BandAllocate, BandFree,
         BandCoalesce, BandSplit, RMWEvent, MediaCacheClean, ZoneReset,
         WALAppend, ManifestAppend, ExtentAllocate, ZoneGC,

@@ -23,6 +23,7 @@ experiments construct internally.
 
 from __future__ import annotations
 
+import os
 from typing import TYPE_CHECKING, Callable
 
 from repro.errors import ReproError
@@ -71,7 +72,27 @@ def store_kinds() -> tuple[str, ...]:
     return tuple(sorted(_REGISTRY))
 
 
+def default_shards() -> int:
+    """The implicit shard count: ``REPRO_DEFAULT_SHARDS`` if set
+    (used by the CI matrix to smoke out single-shard assumptions),
+    else 1."""
+    raw = os.environ.get("REPRO_DEFAULT_SHARDS", "").strip()
+    if not raw:
+        return 1
+    try:
+        value = int(raw)
+    except ValueError as exc:
+        raise ReproError(
+            f"REPRO_DEFAULT_SHARDS must be an integer, got {raw!r}") from exc
+    if value < 1:
+        raise ReproError(f"REPRO_DEFAULT_SHARDS must be >= 1, got {value}")
+    return value
+
+
 def open_store(kind: str, *, profile: ScaleProfile = DEFAULT_PROFILE,
+               shards: int | None = None, router: str = "hash",
+               router_boundaries: list[bytes] | None = None,
+               shard_parallel: bool = True,
                **overrides) -> "KVStoreBase":
     """Construct a store by kind name — the public entry point
     (exported as ``repro.open``).
@@ -79,6 +100,14 @@ def open_store(kind: str, *, profile: ScaleProfile = DEFAULT_PROFILE,
     ``overrides`` are forwarded to the store constructor (``capacity``,
     ``clock``, drive/placement knobs, plus any ``Options`` overrides
     the store accepts).
+
+    ``shards`` > 1 returns a :class:`repro.shard.ShardedStore` over
+    that many independent instances of ``kind`` (each with its own
+    drive, WAL, and compaction state; ``capacity`` and the profile
+    apply *per shard*), keys partitioned by ``router`` (``"hash"``,
+    ``"range"``, or a :class:`repro.shard.Router`).  ``shards=1`` (or
+    unset, with ``REPRO_DEFAULT_SHARDS`` empty) is exactly the
+    single-store construction path.
     """
     _ensure_builtin()
     key = kind.lower()
@@ -87,7 +116,23 @@ def open_store(kind: str, *, profile: ScaleProfile = DEFAULT_PROFILE,
     if cls is None:
         raise ReproError(
             f"unknown store kind {kind!r}; choose from {store_kinds()}")
-    store = cls(profile, **overrides)
+    if shards is None:
+        shards = default_shards()
+    if shards < 1:
+        raise ReproError(f"shards must be >= 1, got {shards}")
     from repro.obs.bus import apply_taps
+    if shards == 1:
+        store = cls(profile, **overrides)
+        apply_taps(store)
+        return store
+    if "clock" in overrides:
+        raise ReproError(
+            "cannot share one clock across shards; every shard owns an "
+            "independent simulated timeline")
+    from repro.shard import ShardedStore, make_router
+    instances = [cls(profile, **overrides) for _ in range(shards)]
+    store = ShardedStore(
+        instances, make_router(router, shards, router_boundaries),
+        parallel=shard_parallel)
     apply_taps(store)
     return store

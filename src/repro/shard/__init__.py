@@ -1,0 +1,37 @@
+"""``repro.shard`` — keyspace-partitioned parallel shards behind the
+single-store facade.
+
+``repro.open(kind, shards=N)`` builds N independent store instances
+(each with its own drive, storage backend, WAL, and compaction state),
+wraps them in a :class:`ShardedStore`, and routes keys with a
+:class:`HashRouter` (default) or :class:`RangeRouter`.  ``shards=1``
+(the default) bypasses this package entirely.
+
+Quick use::
+
+    import repro
+
+    with repro.open("sealdb", shards=4) as db:
+        db.put(b"key", b"value")          # routed to one shard
+        list(db.scan())                    # globally sorted merge
+        print(db.timeline())               # per-shard + max + sum clocks
+"""
+
+from repro.shard.merge import merge_shard_scans
+from repro.shard.router import HashRouter, RangeRouter, Router, make_router
+from repro.shard.store import (
+    FanoutObservability,
+    ShardedSnapshot,
+    ShardedStore,
+)
+
+__all__ = [
+    "FanoutObservability",
+    "HashRouter",
+    "RangeRouter",
+    "Router",
+    "ShardedSnapshot",
+    "ShardedStore",
+    "make_router",
+    "merge_shard_scans",
+]

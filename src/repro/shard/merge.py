@@ -1,0 +1,43 @@
+"""K-way merge of per-shard scan streams.
+
+Each shard's ``scan()`` yields ``(user_key, value)`` in ascending key
+order, and the router guarantees the shards' key sets are disjoint, so
+a plain heap merge by user key produces the globally sorted stream --
+no MVCC arbitration is needed at this layer (each shard already
+resolved versions and tombstones internally).
+
+The merge is lazy: a source is only advanced when its head is
+consumed, so ``scan(limit=10)`` over a sharded store pulls a handful
+of entries per shard, not whole tables.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, Iterator
+
+Pair = tuple[bytes, bytes]
+
+
+def merge_shard_scans(streams: Iterable[Iterator[Pair]]) -> Iterator[Pair]:
+    """Merge sorted, key-disjoint ``(key, value)`` streams into one
+    globally sorted stream.
+
+    The stream index in the heap entries is a tie-breaker that also
+    prevents Python from ever comparing values; with disjoint keys it
+    never decides an ordering, but duplicate keys across streams (a
+    misrouted store) still merge deterministically instead of raising.
+    """
+    heap: list[tuple[bytes, int, bytes, Iterator[Pair]]] = []
+    for index, stream in enumerate(streams):
+        stream = iter(stream)
+        for key, value in stream:
+            heap.append((key, index, value, stream))
+            break
+    heapq.heapify(heap)
+    while heap:
+        key, index, value, stream = heapq.heappop(heap)
+        yield key, value
+        for next_key, next_value in stream:
+            heapq.heappush(heap, (next_key, index, next_value, stream))
+            break

@@ -1,0 +1,130 @@
+"""Key routers: deterministic keyspace partitioning for the sharded store.
+
+A router maps every user key to exactly one shard index, so the shards
+hold *disjoint* key sets and a cross-shard merge never has to resolve
+conflicting versions of one key.  Two partitioners are provided:
+
+* :class:`HashRouter` -- CRC32 of the key modulo the shard count.
+  Balanced for any key distribution, but a range scan must consult
+  every shard.
+* :class:`RangeRouter` -- explicit split keys (like a distributed
+  range-partitioned table).  Range scans touch only the shards whose
+  ranges intersect the scan, but balance depends on the boundaries.
+
+Routers are pure functions of the key: no state, no randomness
+(``zlib.crc32``, not Python's salted ``hash``), so a store routed today
+routes identically after a process restart.
+"""
+
+from __future__ import annotations
+
+import bisect
+import zlib
+
+from repro.errors import ReproError
+
+
+class Router:
+    """Maps user keys to shard indices; subclasses implement the policy."""
+
+    def __init__(self, num_shards: int) -> None:
+        if num_shards < 1:
+            raise ReproError(f"need at least one shard, got {num_shards}")
+        self.num_shards = num_shards
+
+    def shard_of(self, key: bytes) -> int:
+        raise NotImplementedError
+
+    def shards_for_range(self, start: bytes | None,
+                         end: bytes | None) -> tuple[int, ...]:
+        """Candidate shards for a scan over ``[start, end)``.
+
+        May over-approximate (extra shards just contribute empty
+        streams); must never miss a shard that could hold a key in the
+        range.
+        """
+        return tuple(range(self.num_shards))
+
+    def describe(self) -> str:
+        return f"{type(self).__name__}(n={self.num_shards})"
+
+
+class HashRouter(Router):
+    """CRC32(key) mod N: balanced, scatter-gather scans."""
+
+    def shard_of(self, key: bytes) -> int:
+        return zlib.crc32(key) % self.num_shards
+
+
+class RangeRouter(Router):
+    """Range partitioning over sorted split keys.
+
+    ``boundaries`` holds ``num_shards - 1`` ascending keys; a key
+    routes to the number of boundaries that are ``<= key`` (so a key
+    equal to a boundary belongs to the shard *above* the split, as in
+    ``bisect_right``).  Shard ``i`` therefore owns
+    ``[boundaries[i-1], boundaries[i])``.
+    """
+
+    def __init__(self, boundaries: list[bytes]) -> None:
+        super().__init__(len(boundaries) + 1)
+        cleaned = [bytes(b) for b in boundaries]
+        if sorted(set(cleaned)) != cleaned:
+            raise ReproError("range boundaries must be strictly ascending")
+        self.boundaries = cleaned
+
+    @classmethod
+    def uniform(cls, num_shards: int, prefix_bytes: int = 2) -> "RangeRouter":
+        """Split the first ``prefix_bytes`` of the keyspace evenly.
+
+        Balanced when key prefixes are uniform (e.g. scrambled /
+        hashed keys); skewed for dense ASCII keys, which is exactly
+        the trade-off real range partitioning has.
+        """
+        if num_shards < 1:
+            raise ReproError(f"need at least one shard, got {num_shards}")
+        space = 256 ** prefix_bytes
+        boundaries = [
+            (space * i // num_shards).to_bytes(prefix_bytes, "big")
+            for i in range(1, num_shards)
+        ]
+        return cls(boundaries)
+
+    def shard_of(self, key: bytes) -> int:
+        return bisect.bisect_right(self.boundaries, key)
+
+    def shards_for_range(self, start: bytes | None,
+                         end: bytes | None) -> tuple[int, ...]:
+        lo = self.shard_of(start) if start is not None else 0
+        hi = self.shard_of(end) if end is not None else self.num_shards - 1
+        return tuple(range(lo, hi + 1))
+
+    def describe(self) -> str:
+        return (f"RangeRouter(n={self.num_shards}, "
+                f"boundaries={[b.hex() for b in self.boundaries]})")
+
+
+def make_router(spec: "str | Router", num_shards: int,
+                boundaries: list[bytes] | None = None) -> Router:
+    """Resolve the ``router=`` argument of ``repro.open``.
+
+    ``spec`` is ``"hash"``, ``"range"``, or an already-built
+    :class:`Router` (whose shard count must match).
+    """
+    if isinstance(spec, Router):
+        if spec.num_shards != num_shards:
+            raise ReproError(
+                f"router expects {spec.num_shards} shards, store has "
+                f"{num_shards}")
+        return spec
+    if spec == "hash":
+        return HashRouter(num_shards)
+    if spec == "range":
+        if boundaries is not None:
+            if len(boundaries) != num_shards - 1:
+                raise ReproError(
+                    f"{num_shards} shards need {num_shards - 1} boundaries, "
+                    f"got {len(boundaries)}")
+            return RangeRouter(boundaries)
+        return RangeRouter.uniform(num_shards)
+    raise ReproError(f"unknown router {spec!r}; choose 'hash' or 'range'")

@@ -1,0 +1,379 @@
+"""`ShardedStore`: N independent stores behind one `KVStoreBase` surface.
+
+Keyspace partitioning with independent per-partition compaction is the
+standard lever for scaling LSM throughput without raising write
+amplification: each shard owns a full store stack (simulated drive,
+storage backend, WAL, manifest, compaction state), a router assigns
+every user key to exactly one shard, and the facade re-exposes the
+single-store API on top.
+
+Timeline semantics
+------------------
+Every shard owns an *independent* simulated clock, modelling N drives
+working in parallel.  ``store.now`` is the **max** across shard clocks
+(the parallel wall-clock of the fleet); :meth:`timeline` additionally
+reports the per-shard clocks and their sum (aggregate device-seconds),
+so experiments can quote both "how long did the parallel system take"
+and "how much total drive time was consumed".
+
+Cross-shard batch semantics
+---------------------------
+``write_batch`` splits a :class:`~repro.lsm.wal.WriteBatch` by router
+and applies each sub-batch *atomically within its shard* (one WAL
+record per shard).  There is **no cross-shard atomicity**: a crash can
+persist the sub-batch on shard A but not on shard B.  Readers never
+see a partially applied sub-batch, and single-key operations keep full
+per-key atomicity -- the same contract sharded production stores
+(e.g. partitioned column families) document.
+
+Bulk operations (:meth:`bulk_load`, multi-shard ``write_batch``) fan
+out over a ``ThreadPoolExecutor``; shards never share mutable state,
+so each worker thread drives exactly one shard.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterable, Iterator, Sequence
+
+from repro.errors import ReproError
+from repro.harness.metrics import ShardTimeline
+from repro.kvstore import KVStoreBase
+from repro.lsm.db import CompactionRecord, DBStats
+from repro.lsm.ikey import TYPE_VALUE
+from repro.lsm.wal import WriteBatch
+from repro.obs.bus import Observability
+from repro.obs.events import ScanEvent
+from repro.obs.metrics import MetricsRegistry, merge_registries
+from repro.shard.merge import merge_shard_scans
+from repro.shard.router import Router
+from repro.smr.stats import CATEGORY_TABLE, AmplificationTracker
+
+
+class FanoutObservability(Observability):
+    """The sharded facade's bus: arming / subscribing propagates to every
+    shard's bus, so ``store.obs.subscribe(cb)`` sees facade-level events
+    (cross-shard scans) *and* every per-shard event stream."""
+
+    def __init__(self, name: str, shards: Sequence[KVStoreBase]) -> None:
+        super().__init__(name)
+        self._children = [shard.obs for shard in shards]
+
+    def arm(self) -> None:
+        super().arm()
+        for child in self._children:
+            child.arm()
+
+    def disarm(self) -> None:
+        super().disarm()
+        for child in self._children:
+            child.disarm()
+
+    def subscribe(self, callback, events=None):
+        super().subscribe(callback, events)
+        for child in self._children:
+            child.subscribe(callback, events)
+        return callback
+
+    def unsubscribe(self, callback) -> None:
+        super().unsubscribe(callback)
+        for child in self._children:
+            child.unsubscribe(callback)
+
+
+class ShardedSnapshot:
+    """Composed point-in-time view: one engine snapshot per shard.
+
+    ``get``/``scan`` pin each shard's sequence number at creation time;
+    the composition is consistent per shard (and therefore per key),
+    with the same cross-shard caveat as ``write_batch``: the per-shard
+    sequence points were taken one after another, not atomically.
+    """
+
+    def __init__(self, store: "ShardedStore") -> None:
+        self._store = store
+        self._snapshots = [shard.snapshot() for shard in store.shards]
+
+    @property
+    def sequences(self) -> tuple[int, ...]:
+        return tuple(snap.sequence for snap in self._snapshots)
+
+    def get(self, key: bytes) -> bytes | None:
+        return self._snapshots[self._store.router.shard_of(key)].get(key)
+
+    def scan(self, start: bytes | None = None, end: bytes | None = None,
+             limit: int | None = None) -> Iterator[tuple[bytes, bytes]]:
+        candidates = self._store.router.shards_for_range(start, end)
+        streams = [self._snapshots[i].scan(start, end, limit)
+                   for i in candidates]
+        return _limited(merge_shard_scans(streams), limit)
+
+    def __enter__(self) -> "ShardedSnapshot":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        return None
+
+
+def _limited(pairs: Iterator[tuple[bytes, bytes]],
+             limit: int | None) -> Iterator[tuple[bytes, bytes]]:
+    if limit is None:
+        yield from pairs
+        return
+    if limit <= 0:
+        return
+    count = 0
+    for pair in pairs:
+        yield pair
+        count += 1
+        if count >= limit:
+            break
+
+
+class ShardedStore(KVStoreBase):
+    """Routes the `KVStoreBase` surface over N independent shards."""
+
+    name = "sharded"
+
+    def __init__(self, shards: Sequence[KVStoreBase], router: Router, *,
+                 name: str | None = None, parallel: bool = True,
+                 max_workers: int | None = None) -> None:
+        if not shards:
+            raise ReproError("a sharded store needs at least one shard")
+        if router.num_shards != len(shards):
+            raise ReproError(
+                f"router expects {router.num_shards} shards, got "
+                f"{len(shards)}")
+        clocks = {id(shard.drive.clock) for shard in shards}
+        if len(clocks) != len(shards):
+            raise ReproError(
+                "shards must own independent simulated clocks; a shared "
+                "clock would serialize the parallel timeline")
+        self.shards = list(shards)
+        self.router = router
+        self.name = name if name is not None else (
+            f"{self.shards[0].name}x{len(self.shards)}")
+        self.profile = getattr(self.shards[0], "profile", None)
+        self.options = self.shards[0].options
+        self._parallel = parallel
+        self._max_workers = max_workers
+        self._pool: ThreadPoolExecutor | None = None
+        self._obs = None
+        self.obs = FanoutObservability(self.name, self.shards)
+        self._register_gauges(self.obs.metrics)
+        self.obs.bind(self)
+
+    # -- routing / fan-out helpers -----------------------------------------
+
+    def shard_for(self, key: bytes) -> KVStoreBase:
+        """The shard instance that owns ``key``."""
+        return self.shards[self.router.shard_of(key)]
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self._max_workers or len(self.shards),
+                thread_name_prefix=f"{self.name}-shard")
+        return self._pool
+
+    def _fanout(self, fn: Callable, jobs: Sequence[tuple]) -> list:
+        """Run ``fn(*job)`` once per job, in the pool when parallel.
+
+        Jobs touch disjoint shards (each shard's entire stack is
+        single-threaded within one job), so this is safe without locks.
+        """
+        if self._parallel and len(jobs) > 1:
+            pool = self._ensure_pool()
+            futures = [pool.submit(fn, *job) for job in jobs]
+            return [future.result() for future in futures]
+        return [fn(*job) for job in jobs]
+
+    # -- operations ---------------------------------------------------------
+
+    def put(self, key: bytes, value: bytes) -> None:
+        self.shard_for(key).put(key, value)
+
+    def get(self, key: bytes) -> bytes | None:
+        return self.shard_for(key).get(key)
+
+    def delete(self, key: bytes) -> None:
+        self.shard_for(key).delete(key)
+
+    def scan(self, start: bytes | None = None, end: bytes | None = None,
+             limit: int | None = None) -> Iterator[tuple[bytes, bytes]]:
+        candidates = self.router.shards_for_range(start, end)
+        streams = [self.shards[i].scan(start, end, limit) for i in candidates]
+        merged = _limited(merge_shard_scans(streams), limit)
+        if self._obs is None:
+            return merged
+        return self._observed_scan(merged)
+
+    def _observed_scan(self, merged: Iterator[tuple[bytes, bytes]]
+                       ) -> Iterator[tuple[bytes, bytes]]:
+        t0 = self.now
+        keys = 0
+        try:
+            for pair in merged:
+                yield pair
+                keys += 1
+        finally:
+            obs = self._obs
+            if obs is not None:
+                obs.emit(ScanEvent(ts=t0, keys=keys, latency=self.now - t0))
+
+    def write_batch(self, batch: WriteBatch) -> None:
+        """Split ``batch`` by router; apply each sub-batch atomically on
+        its shard (see the module docstring for cross-shard semantics)."""
+        subs: dict[int, WriteBatch] = {}
+        for type_, key, value in batch.ops:
+            sub = subs.setdefault(self.router.shard_of(key), WriteBatch())
+            if type_ == TYPE_VALUE:
+                sub.put(key, value)
+            else:
+                sub.delete(key)
+        self._fanout(lambda shard, sub: shard.write_batch(sub),
+                     [(self.shards[index], sub)
+                      for index, sub in sorted(subs.items())])
+
+    def bulk_load(self, pairs: Iterable[tuple[bytes, bytes]],
+                  batch_size: int = 256) -> ShardTimeline:
+        """Partition ``pairs`` by router and load every shard in
+        parallel, batching ``batch_size`` puts per WAL record.  Returns
+        the resulting :class:`ShardTimeline` (per-shard, max, and total
+        simulated seconds spent)."""
+        per_shard: list[list[tuple[bytes, bytes]]] = [
+            [] for _ in self.shards]
+        for key, value in pairs:
+            per_shard[self.router.shard_of(key)].append((key, value))
+        starts = [shard.now for shard in self.shards]
+
+        def load(shard: KVStoreBase, items: list[tuple[bytes, bytes]]) -> None:
+            batch = WriteBatch()
+            for key, value in items:
+                batch.put(key, value)
+                if len(batch) >= batch_size:
+                    shard.write_batch(batch)
+                    batch = WriteBatch()
+            if len(batch):
+                shard.write_batch(batch)
+
+        self._fanout(load, list(zip(self.shards, per_shard)))
+        spent = [shard.now - start
+                 for shard, start in zip(self.shards, starts)]
+        return ShardTimeline(per_shard=spent)
+
+    def compact_range(self, start: bytes | None = None,
+                      end: bytes | None = None) -> int:
+        return sum(self._fanout(
+            lambda shard: shard.compact_range(start, end),
+            [(shard,) for shard in self.shards]))
+
+    def flush(self) -> None:
+        self._fanout(lambda shard: shard.flush(),
+                     [(shard,) for shard in self.shards])
+
+    def close(self) -> None:
+        self._fanout(lambda shard: shard.close(),
+                     [(shard,) for shard in self.shards])
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def reopen(self) -> "ShardedStore":
+        for shard in self.shards:
+            shard.reopen()
+        return self
+
+    def snapshot(self) -> ShardedSnapshot:
+        return ShardedSnapshot(self)
+
+    # -- measurements -------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Parallel wall-clock: the furthest shard clock."""
+        return max(shard.now for shard in self.shards)
+
+    def timeline(self) -> ShardTimeline:
+        """Per-shard simulated clocks plus max (parallel wall time) and
+        sum (aggregate device-seconds)."""
+        return ShardTimeline(per_shard=[shard.now for shard in self.shards])
+
+    @property
+    def stats(self) -> DBStats:
+        """Merged operation counters across shards."""
+        merged = DBStats()
+        for shard in self.shards:
+            s = shard.stats
+            merged.puts += s.puts
+            merged.gets += s.gets
+            merged.deletes += s.deletes
+            merged.scans += s.scans
+            merged.get_hits += s.get_hits
+            merged.tables_opened += s.tables_opened
+        return merged
+
+    @property
+    def tracker(self) -> AmplificationTracker:
+        """Merged WA inputs across shards (a fresh aggregate per read)."""
+        merged = AmplificationTracker()
+        for shard in self.shards:
+            merged.user_bytes += shard.tracker.user_bytes
+            merged.lsm_bytes += shard.tracker.lsm_bytes
+            merged.flush_bytes += shard.tracker.flush_bytes
+            merged.compaction_bytes += shard.tracker.compaction_bytes
+        return merged
+
+    @property
+    def compaction_records(self) -> list[CompactionRecord]:
+        """Every shard's compactions, merged on the start timestamp."""
+        records = [record for shard in self.shards
+                   for record in shard.compaction_records]
+        records.sort(key=lambda r: (r.start_time, r.end_time))
+        return records
+
+    def wa(self) -> float:
+        return self.tracker.wa()
+
+    def awa(self) -> float:
+        """AWA over the summed device/table byte streams of all drives."""
+        lsm = sum(shard.tracker.lsm_bytes for shard in self.shards)
+        if lsm == 0:
+            return 0.0
+        device = sum(
+            shard.drive.stats.bytes_written_by_category.get(CATEGORY_TABLE, 0)
+            for shard in self.shards)
+        return device / lsm
+
+    def mwa(self) -> float:
+        return self.wa() * self.awa()
+
+    def level_summary(self) -> list[tuple[int, int, int]]:
+        """Per level, summed across shards: ``(level, files, bytes)``."""
+        levels = max(shard.options.max_levels for shard in self.shards)
+        files = [0] * levels
+        nbytes = [0] * levels
+        for shard in self.shards:
+            for level, count, total in shard.level_summary():
+                files[level] += count
+                nbytes[level] += total
+        return [(level, files[level], nbytes[level])
+                for level in range(levels)]
+
+    def merged_metrics(self) -> MetricsRegistry:
+        """One registry folding every shard's metrics plus the facade's
+        own (cross-shard scans), with amplification gauges recomputed
+        from the merged trackers.  Per-shard registries stay available
+        at ``store.shards[i].obs.metrics``."""
+        merged = merge_registries([shard.obs.metrics
+                                   for shard in self.shards])
+        merged.merge(self.obs.metrics)
+        merged.gauge("amp.wa").set(self.wa())
+        merged.gauge("amp.awa").set(self.awa())
+        merged.gauge("amp.mwa").set(self.mwa())
+        return merged
+
+    def describe(self) -> str:
+        return (f"{self.name}: {len(self.shards)} x "
+                f"[{self.shards[0].describe()}] "
+                f"router={self.router.describe()}")
