@@ -38,6 +38,7 @@ Quick start::
 
 from repro.baselines import LevelDBStore, LevelDBWithSets, SMRDBStore
 from repro.core import SealDB
+from repro.errors import KeyRangeUnavailable, MediaError, ShardUnavailable
 from repro.harness import (
     DEFAULT_PROFILE,
     SMALL_PROFILE,
@@ -68,8 +69,11 @@ __all__ = [
     "DEFAULT_PROFILE",
     "HashRouter",
     "KVStoreBase",
+    "KeyRangeUnavailable",
     "LevelDBStore",
     "LevelDBWithSets",
+    "MediaError",
+    "ShardUnavailable",
     "Observability",
     "Options",
     "PROFILES",

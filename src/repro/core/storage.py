@@ -75,7 +75,7 @@ class DynamicBandStorage(Storage):
             obs.emit(SetRegister(ts=self.drive.now, members=len(members),
                                  nbytes=total))
 
-    def read_file(self, name: str, offset: int, length: int,
+    def _read_file(self, name: str, offset: int, length: int,
                   category: str = CATEGORY_TABLE) -> bytes:
         extent = self._entry(name)
         if offset + length > extent.length:

@@ -52,6 +52,23 @@ class BandAlignmentError(DriveError):
     """An operation on a fixed-band SMR drive crossed a band boundary."""
 
 
+class MediaError(DriveError):
+    """A latent sector error: the drive could not read a byte range.
+
+    Raised by the simulated media when a read overlaps a sector recorded
+    in the drive's :class:`~repro.resilience.media.MediaErrorMap`.  This
+    is the *hard* failure mode; silent bit-rot instead flips payload
+    bytes and is only caught by block checksums further up the stack.
+    """
+
+    def __init__(self, offset: int, length: int) -> None:
+        super().__init__(
+            f"unrecoverable read error in [{offset}, {offset + length})"
+        )
+        self.offset = offset
+        self.length = length
+
+
 class AllocationError(ReproError):
     """A storage policy could not allocate space for a request."""
 
@@ -70,6 +87,29 @@ class CorruptionError(ReproError):
 
 class NotFoundError(ReproError):
     """A key does not exist in the key-value store (or was deleted)."""
+
+
+class KeyRangeUnavailable(ReproError):
+    """A key range is temporarily unserveable because its table (or
+    shard) is quarantined after persistent media errors.
+
+    Unlike :class:`CorruptionError` -- which reports the *detection* of
+    bad bytes -- this error is the steady degraded state: the engine has
+    already retried, given up, and fenced the range off so the rest of
+    the store keeps serving.  ``reopen()`` + repair clears it.
+    """
+
+    def __init__(self, message: str, *,
+                 smallest: bytes | None = None,
+                 largest: bytes | None = None) -> None:
+        super().__init__(message)
+        self.smallest = smallest
+        self.largest = largest
+
+
+class ShardUnavailable(KeyRangeUnavailable):
+    """An entire shard of a :class:`~repro.shard.store.ShardedStore` is
+    failed; every key routed to it is unavailable until recovery."""
 
 
 class InvariantViolation(ReproError):

@@ -1,12 +1,33 @@
 """First-class fault injection for the SEALDB reproduction.
 
 The storage stack carries named *failpoints* -- hooks at every spot
-where a real system can lose power or tear a write: WAL appends,
-manifest records, table-group placement, raw drive writes, free-space
-allocation, and the flush/compaction install steps.  Tests and the
-:mod:`repro.harness.crashsweep` harness arm them with deterministic
-triggers and actions, crash the engine mid-operation, and verify that
-:meth:`repro.lsm.db.DB.recover` restores a consistent store.
+where a real system can lose power, tear a write, or hand back bad
+bytes.  Tests and the :mod:`repro.harness.crashsweep` harness arm them
+with deterministic triggers and actions, crash the engine
+mid-operation, and verify that :meth:`repro.lsm.db.DB.recover`
+restores a consistent store.
+
+Points (write side fires *before* the bytes land, read side fires
+*after* the bytes are fetched, with ``data=`` so ``corrupt`` actions
+can flip the returned payload):
+
+===================== ====================================================
+name                  site
+===================== ====================================================
+``wal.append``        a framed record blob entering the write-ahead log
+``manifest.log``      a version edit / snapshot entering the manifest log
+``storage.write_files`` a group of table files being placed
+``drive.write``       any write reaching a simulated drive
+``freespace.alloc``   a free-space allocation
+``compaction.install`` a compaction's version edit about to install
+``flush.install``     a flush's version edit about to install
+``drive.read``        any read served by a simulated drive
+``storage.read``      a named-file read leaving the storage layer
+===================== ====================================================
+
+For *persistent* read-side faults (latent sector errors, bit-rot that
+survives retries) use the per-drive media-error map in
+:mod:`repro.resilience` instead of one-shot failpoint actions.
 
 Quick use::
 
@@ -34,11 +55,13 @@ from repro.faults.actions import (
 )
 from repro.faults.registry import (
     COMPACTION_INSTALL,
+    DRIVE_READ,
     DRIVE_WRITE,
     FLUSH_INSTALL,
     FREESPACE_ALLOC,
     KNOWN_POINTS,
     MANIFEST_LOG,
+    STORAGE_READ,
     STORAGE_WRITE_FILES,
     WAL_APPEND,
     AfterN,
@@ -68,6 +91,7 @@ __all__ = [
     "COMPACTION_INSTALL",
     "CorruptAction",
     "CrashAction",
+    "DRIVE_READ",
     "DRIVE_WRITE",
     "DelayAction",
     "EveryNth",
@@ -80,6 +104,7 @@ __all__ = [
     "KNOWN_POINTS",
     "MANIFEST_LOG",
     "OnHit",
+    "STORAGE_READ",
     "STORAGE_WRITE_FILES",
     "TornWriteAction",
     "Trigger",

@@ -52,6 +52,11 @@ FREESPACE_ALLOC = "freespace.alloc"
 COMPACTION_INSTALL = "compaction.install"
 #: the instant a flush's version edit is about to be installed
 FLUSH_INSTALL = "flush.install"
+#: any read served by a simulated drive (fires *after* the media read,
+#: with ``data=`` so corrupt actions can flip the returned payload)
+DRIVE_READ = "drive.read"
+#: a named-file read leaving the storage layer (table blocks, footers)
+STORAGE_READ = "storage.read"
 
 KNOWN_POINTS = frozenset({
     WAL_APPEND,
@@ -61,6 +66,8 @@ KNOWN_POINTS = frozenset({
     FREESPACE_ALLOC,
     COMPACTION_INSTALL,
     FLUSH_INSTALL,
+    DRIVE_READ,
+    STORAGE_READ,
 })
 
 _extra_points: set[str] = set()

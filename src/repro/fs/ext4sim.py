@@ -219,7 +219,7 @@ class Ext4Storage(Storage):
             if cursor >= len(data):
                 break
 
-    def read_file(self, name: str, offset: int, length: int,
+    def _read_file(self, name: str, offset: int, length: int,
                   category: str = CATEGORY_TABLE) -> bytes:
         extents, size = self._entry(name)
         if offset + length > size:

@@ -315,10 +315,26 @@ class Storage(ABC):
         for name, data in files:
             self.write_file(name, data, category)
 
-    @abstractmethod
     def read_file(self, name: str, offset: int, length: int,
                   category: str = CATEGORY_TABLE) -> bytes:
-        """Read ``length`` bytes of object ``name`` starting at ``offset``."""
+        """Read ``length`` bytes of object ``name`` starting at ``offset``.
+
+        Carries the ``storage.read`` failpoint, fired *after* the
+        backend fetched the bytes so a ``corrupt`` action can flip the
+        returned payload (a transient read glitch, distinct from the
+        drive's persistent media-error map).
+        """
+        data = self._read_file(name, offset, length, category)
+        inj = faults.fire(faults.STORAGE_READ, data=data)
+        if inj is not None:
+            data = inj.mutate_bytes(data)
+            inj.finish()
+        return data
+
+    @abstractmethod
+    def _read_file(self, name: str, offset: int, length: int,
+                   category: str = CATEGORY_TABLE) -> bytes:
+        """Backend-specific read semantics (no failpoint handling)."""
 
     @abstractmethod
     def file_size(self, name: str) -> int:
@@ -424,7 +440,7 @@ class BandAlignedStorage(Storage):
             raise StorageError(f"object {name!r} already exists")
         return _BandStream(self, name, chunk_size, category)
 
-    def read_file(self, name: str, offset: int, length: int,
+    def _read_file(self, name: str, offset: int, length: int,
                   category: str = CATEGORY_TABLE) -> bytes:
         band, size = self._entry(name)
         if offset + length > size:

@@ -183,7 +183,7 @@ class ZoneStorage(Storage):
         self._maybe_collect()
         return _ZoneStream(self, name, chunk_size, category)
 
-    def read_file(self, name: str, offset: int, length: int,
+    def _read_file(self, name: str, offset: int, length: int,
                   category: str = CATEGORY_TABLE) -> bytes:
         extents, size = self._entry(name)
         if offset + length > size:

@@ -55,7 +55,14 @@ DEFAULT_POINTS = (
     faults.FLUSH_INSTALL,
 )
 
+#: read-side failpoints: crash mid-read (compaction input streams, block
+#: fetches).  Swept separately -- ``torn`` makes no sense on a read (a
+#: short read is a detection problem, not a durability one), so the
+#: read-fault matrix uses the crash actions only.
+READ_POINTS = (faults.DRIVE_READ, faults.STORAGE_READ)
+
 DEFAULT_ACTIONS = ("crash", "crash-after", "torn")
+READ_ACTIONS = ("crash", "crash-after")
 
 
 @dataclass

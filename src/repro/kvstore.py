@@ -63,6 +63,10 @@ class KVStoreBase:
         metrics.gauge("amp.wa", self.wa)
         metrics.gauge("amp.awa", self.awa)
         metrics.gauge("amp.mwa", self.mwa)
+        metrics.gauge("resilience.quarantined_tables",
+                      lambda: self.quarantined_tables)
+        metrics.gauge("resilience.degraded_ranges",
+                      lambda: len(self.degraded_ranges()))
 
     # -- operations ---------------------------------------------------------
 
@@ -150,6 +154,37 @@ class KVStoreBase:
                              stats=self.stats)
         self._wire_obs()
         return self
+
+    # -- resilience -----------------------------------------------------------
+
+    def scrub(self):
+        """Verify every live table block-by-block off the device,
+        quarantining persistent failures.  Returns a
+        :class:`~repro.resilience.scrub.ScrubReport`."""
+        return self.db.scrub()
+
+    def repair(self):
+        """Rebuild the manifest from surviving tables, dropping
+        unreadable ones (this clears quarantine marks -- the repaired
+        store either reads a table clean or drops it).  Returns the
+        :class:`~repro.lsm.repair.RepairReport`; the store keeps
+        serving from the rebuilt engine."""
+        from repro.lsm.repair import repair
+        self.db, report = repair(self.storage, self.options, self.tracker,
+                                 obs=self._obs)
+        self.db.stats = self.stats
+        self._wire_obs()
+        return report
+
+    @property
+    def quarantined_tables(self) -> int:
+        """Live tables currently fenced off after persistent read
+        failures."""
+        return self.db.quarantined_tables
+
+    def degraded_ranges(self) -> list[tuple[bytes, bytes]]:
+        """User-key ranges currently unavailable (quarantined tables)."""
+        return self.db.degraded_ranges()
 
     # -- context manager ------------------------------------------------------
 

@@ -107,13 +107,14 @@ class BlockBuilder:
 class Block:
     """A parsed, immutable block supporting iteration and seek."""
 
-    def __init__(self, data: bytes) -> None:
+    def __init__(self, data: bytes, verify: bool = True) -> None:
         if len(data) < 12:
             raise CorruptionError(f"block too small: {len(data)} bytes")
-        stored_crc = decode_fixed32(data, len(data) - 4)
         payload = data[:-4]
-        if zlib.crc32(payload) != stored_crc:
-            raise CorruptionError("block crc mismatch")
+        if verify:
+            stored_crc = decode_fixed32(data, len(data) - 4)
+            if zlib.crc32(payload) != stored_crc:
+                raise CorruptionError("block crc mismatch")
         num_restarts = decode_fixed32(payload, len(payload) - 4)
         restart_end = len(payload) - 4
         restart_start = restart_end - 4 * num_restarts

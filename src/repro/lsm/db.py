@@ -20,11 +20,16 @@ the paper:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Iterator
 
 from repro import faults
-from repro.errors import InvariantViolation
+from repro.errors import (
+    CorruptionError,
+    InvariantViolation,
+    KeyRangeUnavailable,
+    MediaError,
+)
 from repro.fs.storage import Storage
 from repro.lsm.cache import LRUCache
 from repro.lsm.compaction import Compaction, CompactionPicker, compact_entries
@@ -35,7 +40,13 @@ from repro.lsm.options import Options
 from repro.lsm.sstable import SSTableBuilder, SSTableReader
 from repro.lsm.version import FileMetaData, VersionEdit, VersionSet
 from repro.lsm.wal import LogWriter, WriteBatch, scan_log
-from repro.obs.events import CompactionEnd, CompactionStart, FlushEnd, FlushStart
+from repro.obs.events import (
+    CompactionEnd,
+    CompactionStart,
+    FlushEnd,
+    FlushStart,
+    QuarantineEvent,
+)
 from repro.smr.extent import Extent
 from repro.smr.stats import AmplificationTracker
 
@@ -100,6 +111,12 @@ class DBStats:
     scans: int = 0
     get_hits: int = 0
     tables_opened: int = 0
+    #: device re-reads after a checksum/media failure (resilience)
+    read_retries: int = 0
+    #: reads that hit a latent sector error
+    media_errors: int = 0
+    #: tables fenced off after persistent read failures (cumulative)
+    quarantines: int = 0
 
 
 class DB:
@@ -126,6 +143,7 @@ class DB:
         # operation counters survive crash-recovery.
         self.stats = stats if stats is not None else DBStats()
         self._mem_seed = self.options.seed
+        self._flushes_since_scrub = 0
 
     # -- convenience ------------------------------------------------------
 
@@ -202,6 +220,20 @@ class DB:
                               nbytes=props.file_size,
                               duration=self.now - start))
         self.maybe_compact()
+        # Idle-path scrubbing: the engine just finished a flush (and any
+        # due compactions), which is the closest thing the synchronous
+        # simulation has to idle time.  Off by default (interval 0).
+        if self.options.scrub_interval_flushes > 0:
+            self._flushes_since_scrub += 1
+            if self._flushes_since_scrub >= self.options.scrub_interval_flushes:
+                self._flushes_since_scrub = 0
+                self.scrub()
+
+    def scrub(self):
+        """Run one scrub pass over every live table (see
+        :mod:`repro.resilience.scrub`)."""
+        from repro.resilience.scrub import scrub
+        return scrub(self)
 
     # -- read path ----------------------------------------------------------
 
@@ -216,9 +248,24 @@ class DB:
             if value is not None:
                 self.stats.get_hits += 1
             return value
-        for _level, meta in self.versions.current.files_for_get(key):
-            reader = self._table(meta)
-            found, value = reader.get(key, sequence)
+        for level, meta in self.versions.current.files_for_get(key):
+            if meta.quarantined:
+                # Every newer table already missed, so the answer may
+                # live behind the fence: refuse rather than guess.
+                raise KeyRangeUnavailable(
+                    f"key range of quarantined table {meta.name} "
+                    f"(L{level}) is unavailable",
+                    smallest=meta.smallest.user_key,
+                    largest=meta.largest.user_key)
+            try:
+                reader = self._table(meta)
+                found, value = reader.get(key, sequence)
+            except (CorruptionError, MediaError) as exc:
+                self._quarantine(level, meta, repr(exc))
+                raise KeyRangeUnavailable(
+                    f"table {meta.name} (L{level}) quarantined mid-read: {exc}",
+                    smallest=meta.smallest.user_key,
+                    largest=meta.largest.user_key) from exc
             if found:
                 if value is not None:
                     self.stats.get_hits += 1
@@ -240,6 +287,10 @@ class DB:
         else:
             sources.append(self.memtable.entries())
         version = self.versions.current
+        if version.num_quarantined:
+            # A scan cannot skip a fenced table and stay correct: it
+            # might hold the newest version of any key in its range.
+            self._check_scan_range(version, start, end)
         # Set-granular reads (the paper changes the get/put unit from
         # SSTables to sets) pay off for long scans; a short limited scan
         # touches a fraction of a table, so it keeps block reads.
@@ -247,7 +298,7 @@ class DB:
         for meta in version.files[0]:
             if end is not None and meta.smallest.user_key >= end:
                 continue
-            sources.append(self._table_scan_source(meta, target, prefetch))
+            sources.append(self._table_scan_source(0, meta, target, prefetch))
         for level in range(1, version.num_levels):
             files = version.overlapping_files(level, start, None)
             if end is not None:
@@ -257,14 +308,29 @@ class DB:
             if version.level_is_tiered(level):
                 # Overlapping runs cannot be concatenated: one source each.
                 for meta in files:
-                    sources.append(self._table_scan_source(meta, target,
-                                                           prefetch))
+                    sources.append(self._table_scan_source(level, meta,
+                                                           target, prefetch))
             else:
-                sources.append(self._level_iterator(files, target, prefetch))
+                sources.append(self._level_iterator(level, files, target,
+                                                    prefetch))
         merged = merge_iterators(sources)
         yield from take_range(DBIterator(merged, sequence), start, end, limit)
 
-    def _table_scan_source(self, meta: FileMetaData,
+    def _check_scan_range(self, version, start: bytes | None,
+                          end: bytes | None) -> None:
+        """Refuse a scan whose range touches a quarantined table."""
+        for level, meta in version.quarantined_files():
+            if end is not None and meta.smallest.user_key >= end:
+                continue
+            if start is not None and meta.largest.user_key < start:
+                continue
+            raise KeyRangeUnavailable(
+                f"scan range intersects quarantined table {meta.name} "
+                f"(L{level})",
+                smallest=meta.smallest.user_key,
+                largest=meta.largest.user_key)
+
+    def _table_scan_source(self, level: int, meta: FileMetaData,
                            target: InternalKey | None,
                            prefetch: bool
                            ) -> Iterator[tuple[InternalKey, bytes]]:
@@ -273,39 +339,78 @@ class DB:
         With ``prefetch`` the whole table is streamed with one
         sequential read the moment the scan first touches it (set
         granularity), and the buffer is dropped once the scan moves
-        past.
+        past.  A persistent read failure mid-scan quarantines the table
+        and surfaces as :class:`~repro.errors.KeyRangeUnavailable` to
+        the consumer of the iterator.
         """
-        reader = self._table(meta)
-        prefetched = False
-        if prefetch and reader._buffer is None:
-            reader.prefetch()
-            prefetched = True
         try:
-            if target is not None:
-                yield from reader.iterate_from(target)
-            else:
-                yield from reader
-        finally:
-            if prefetched:
-                reader.release()
+            reader = self._table(meta)
+            prefetched = False
+            if prefetch and reader._buffer is None:
+                reader.prefetch()
+                prefetched = True
+            try:
+                if target is not None:
+                    yield from reader.iterate_from(target)
+                else:
+                    yield from reader
+            finally:
+                if prefetched:
+                    reader.release()
+        except (CorruptionError, MediaError) as exc:
+            self._quarantine(level, meta, repr(exc))
+            raise KeyRangeUnavailable(
+                f"table {meta.name} (L{level}) quarantined mid-scan: {exc}",
+                smallest=meta.smallest.user_key,
+                largest=meta.largest.user_key) from exc
 
-    def _level_iterator(self, files: list[FileMetaData],
+    def _level_iterator(self, level: int, files: list[FileMetaData],
                         target: InternalKey | None,
                         prefetch: bool
                         ) -> Iterator[tuple[InternalKey, bytes]]:
         for index, meta in enumerate(files):
             yield from self._table_scan_source(
-                meta, target if index == 0 else None, prefetch)
+                level, meta, target if index == 0 else None, prefetch)
 
     # -- compaction ----------------------------------------------------------
 
     def maybe_compact(self) -> None:
-        """Run compactions until every level is within budget."""
+        """Run compactions until every level is within budget.
+
+        While a level holds a quarantined table the tree may stay over
+        budget: a compaction that would have to *read* fenced-off bytes
+        is deferred rather than crashed, and the store serves degraded
+        until ``repair()``.  A compaction that hits fresh corruption
+        mid-merge scrubs its inputs, quarantines the sick ones, and
+        likewise defers.
+        """
         while True:
             compaction = self.picker.pick(self._invalid_count_fn())
             if compaction is None:
                 return
-            self.run_compaction(compaction)
+            if any(m.quarantined for m in compaction.all_files):
+                return
+            try:
+                self.run_compaction(compaction)
+            except (CorruptionError, MediaError):
+                if not self._quarantine_sick_inputs(compaction):
+                    raise  # transient after all -- surface it
+                self._remove_orphan_files()  # partial outputs, if any
+                return
+
+    def _quarantine_sick_inputs(self, compaction: Compaction) -> int:
+        """Verify each input of a failed compaction; quarantine the
+        tables that fail persistently.  Returns how many were fenced."""
+        fenced = 0
+        pairs = ([(compaction.level, m) for m in compaction.inputs]
+                 + [(compaction.output_level, m) for m in compaction.overlaps])
+        for level, meta in pairs:
+            try:
+                self._table(meta).verify_blocks()
+            except (CorruptionError, MediaError) as exc:
+                self._quarantine(level, meta, repr(exc))
+                fenced += 1
+        return fenced
 
     def compact_range(self, start: bytes | None = None,
                       end: bytes | None = None) -> int:
@@ -325,6 +430,13 @@ class DB:
                     level, start, end)
                 if not files:
                     break
+                sick = next((f for f in files if f.quarantined), None)
+                if sick is not None:
+                    raise KeyRangeUnavailable(
+                        f"cannot compact range over quarantined table "
+                        f"{sick.name} (L{level}); repair() first",
+                        smallest=sick.smallest.user_key,
+                        largest=sick.largest.user_key)
                 if level == 0:
                     compaction = self.picker._pick_l0(self.versions.current)
                 else:
@@ -534,10 +646,52 @@ class DB:
         if reader is None:
             reader = SSTableReader(self.storage, meta.name, meta.size,
                                    self.block_cache,
-                                   readahead_blocks=self.options.readahead_blocks)
+                                   readahead_blocks=self.options.readahead_blocks,
+                                   paranoid_checks=self.options.paranoid_checks,
+                                   read_retries=self.options.read_retries,
+                                   read_retry_backoff_s=self.options.read_retry_backoff_s,
+                                   stats=self.stats)
             self._tables[meta.name] = reader
             self.stats.tables_opened += 1
         return reader
+
+    # -- quarantine (media-fault state machine) ---------------------------
+
+    def _quarantine(self, level: int, meta: FileMetaData, reason: str) -> None:
+        """Fence off ``meta``: mark it QUARANTINED in the manifest, drop
+        its reader and cached blocks, and record the degraded range.
+
+        The table file itself stays on disk -- ``repair()`` may still
+        salvage other tables around it, and keeping the entry in the
+        manifest is what lets every read over the range fail *typed*
+        instead of silently missing data.
+        """
+        if meta.quarantined:
+            return
+        edit = VersionEdit()
+        edit.delete_file(level, meta.number)
+        edit.add_file(level, replace(meta, quarantined=True))
+        self.versions.log_and_apply(edit)
+        self._persist_manifest(edit)
+        self._tables.pop(meta.name, None)
+        if self.block_cache is not None:
+            self.block_cache.evict_prefix((meta.name,))
+        self.stats.quarantines += 1
+        obs = self._obs
+        if obs is not None:
+            obs.emit(QuarantineEvent(ts=self.now, name=meta.name,
+                                     level=level, reason=reason))
+
+    @property
+    def quarantined_tables(self) -> int:
+        """How many tables are currently fenced off."""
+        return self.versions.current.num_quarantined
+
+    def degraded_ranges(self) -> list[tuple[bytes, bytes]]:
+        """User-key ranges currently unserveable, one per quarantined
+        table (the ``DBStats``-level view of degradation)."""
+        return [(meta.smallest.user_key, meta.largest.user_key)
+                for _level, meta in self.versions.current.quarantined_files()]
 
     def _persist_manifest(self, edit: VersionEdit) -> None:
         """Append the edit to the manifest log; on overflow, restart the

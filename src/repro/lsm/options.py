@@ -64,6 +64,23 @@ class Options:
     #: reporting infinite throughput
     read_cpu_seconds: float = 2e-5
 
+    # -- media-fault resilience (repro.resilience) -----------------------
+
+    #: verify block checksums on every read (LevelDB's paranoid mode,
+    #: on by default here: SMR media rots).  Turning it off skips CRC
+    #: work but lets silent bit-rot through to callers.
+    paranoid_checks: bool = True
+    #: device re-reads attempted when a block fails its checksum or the
+    #: drive reports a media error, before the table is quarantined
+    read_retries: int = 2
+    #: simulated backoff charged between read retries (seconds); doubles
+    #: per attempt
+    read_retry_backoff_s: float = 1e-3
+    #: run the background scrubber every N memtable flushes on the
+    #: engine's idle path (0 disables -- the default, so fault-free
+    #: simulations are byte-for-byte unchanged)
+    scrub_interval_flushes: int = 0
+
     # -- set-awareness (the paper's contribution) ------------------------
 
     #: group compaction outputs into sets and write them contiguously

@@ -22,6 +22,7 @@ from repro.lsm.db import DB
 from repro.lsm.options import Options
 from repro.lsm.sstable import SSTableReader
 from repro.lsm.version import FileMetaData, VersionEdit, VersionSet
+from repro.obs.events import RepairDrop
 from repro.smr.stats import AmplificationTracker
 
 
@@ -32,24 +33,33 @@ class RepairReport:
     tables_recovered: int = 0
     tables_dropped: int = 0
     entries_recovered: int = 0
-    dropped: list[str] = field(default_factory=list)
+    #: every discarded table as ``(name, reason)`` -- no silent drops
+    dropped: list[tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def dropped_names(self) -> list[str]:
+        return [name for name, _reason in self.dropped]
 
     def render(self) -> str:
         lines = [f"repair: {self.tables_recovered} tables recovered "
                  f"({self.entries_recovered:,} entries), "
                  f"{self.tables_dropped} dropped"]
-        lines += [f"  - dropped {name}" for name in self.dropped]
+        lines += [f"  - dropped {name}: {reason}"
+                  for name, reason in self.dropped]
         return "\n".join(lines)
 
 
 def repair(storage: Storage, options: Options | None = None,
-           tracker: AmplificationTracker | None = None
-           ) -> tuple[DB, RepairReport]:
+           tracker: AmplificationTracker | None = None,
+           obs=None) -> tuple[DB, RepairReport]:
     """Rebuild a usable DB from whatever tables survive on ``storage``.
 
-    Unreadable tables are dropped (their data is lost, reported).  The
-    rebuilt manifest replaces the old meta log; the WAL is replayed if
-    intact, discarded if not.
+    Unreadable tables are dropped (their data is lost) -- each drop is
+    recorded with its reason in the report and, when ``obs`` is given,
+    emitted as a :class:`~repro.obs.events.RepairDrop` event.  The
+    rebuilt manifest replaces the old meta log (which also clears any
+    quarantine marks -- a table either reads clean end to end here or
+    it is dropped); the WAL is replayed if intact, discarded if not.
     """
     options = options if options is not None else Options()
     report = RepairReport()
@@ -57,20 +67,25 @@ def repair(storage: Storage, options: Options | None = None,
     max_number = 0
     max_sequence = 0
 
+    def drop(name: str, reason: str) -> None:
+        report.dropped.append((name, reason))
+        report.tables_dropped += 1
+        if obs is not None:
+            obs.emit(RepairDrop(ts=storage.drive.now, name=name,
+                                reason=reason))
+
     for name in sorted(storage.list_files()):
         if not name.endswith(".sst"):
             continue
         try:
             number = int(name.split(".")[0])
         except ValueError:
-            report.dropped.append(name)
-            report.tables_dropped += 1
+            drop(name, "unparseable file number")
             continue
         try:
             meta, entries, top_seq = _inspect_table(storage, name, number)
-        except ReproError:
-            report.dropped.append(name)
-            report.tables_dropped += 1
+        except ReproError as exc:
+            drop(name, str(exc) or type(exc).__name__)
             storage.delete_file(name)
             continue
         recovered.append(meta)

@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator
 
-from repro.errors import CorruptionError
+from repro.errors import CorruptionError, MediaError
 from repro.lsm.block import Block, BlockBuilder, BlockHandle
 from repro.lsm.bloom import BloomFilter
 from repro.lsm.cache import LRUCache
@@ -154,26 +154,49 @@ class SSTableReader:
     through the shared block cache; :meth:`prefetch` instead pulls the
     whole file with a single sequential read -- SEALDB's set-oriented
     compaction path.
+
+    Media-fault hardening: every device fetch (footer, index, filter,
+    data blocks) is wrapped in a bounded retry loop.  A failed checksum
+    or a :class:`~repro.errors.MediaError` triggers up to
+    ``read_retries`` re-reads with exponential simulated backoff, so
+    *transient* glitches (a one-shot ``storage.read`` failpoint) clear
+    while *persistent* faults (the drive's media-error map) exhaust the
+    retries and propagate -- at which point the engine quarantines the
+    table.  ``stats`` (a :class:`~repro.lsm.db.DBStats`) counts retries
+    and media errors when provided.
     """
 
     def __init__(self, storage, name: str, file_size: int,
                  block_cache: LRUCache | None = None,
-                 readahead_blocks: int = 1) -> None:
+                 readahead_blocks: int = 1,
+                 paranoid_checks: bool = True,
+                 read_retries: int = 0,
+                 read_retry_backoff_s: float = 1e-3,
+                 stats=None) -> None:
         self._storage = storage
         self.name = name
         self.file_size = file_size
         self._cache = block_cache
         self._buffer: bytes | None = None
         self._readahead_blocks = max(1, readahead_blocks)
+        self._paranoid = paranoid_checks
+        self._retries = max(0, read_retries)
+        self._backoff = read_retry_backoff_s
+        self._stats = stats
 
-        footer = storage.read_file(name, file_size - FOOTER_SIZE, FOOTER_SIZE)
-        if decode_fixed64(footer, 32) != _MAGIC:
-            raise CorruptionError(f"bad magic in table {name!r}")
+        def load_footer() -> bytes:
+            footer = storage.read_file(name, file_size - FOOTER_SIZE,
+                                       FOOTER_SIZE)
+            if decode_fixed64(footer, 32) != _MAGIC:
+                raise CorruptionError(f"bad magic in table {name!r}")
+            return footer
+
+        footer = self._retrying(load_footer)
         index_handle = BlockHandle(decode_fixed64(footer, 0), decode_fixed64(footer, 8))
         filter_handle = BlockHandle(decode_fixed64(footer, 16), decode_fixed64(footer, 24))
 
-        index_block = Block(storage.read_file(name, index_handle.offset,
-                                              index_handle.size))
+        index_block = self._retrying(lambda: Block(
+            storage.read_file(name, index_handle.offset, index_handle.size)))
         self._index: list[tuple[InternalKey, BlockHandle]] = []
         for ikey, value in index_block:
             handle, _pos = BlockHandle.decode(value)
@@ -181,14 +204,33 @@ class SSTableReader:
 
         self._bloom: BloomFilter | None = None
         if filter_handle.size > 0:
-            self._bloom = BloomFilter.decode(
-                storage.read_file(name, filter_handle.offset, filter_handle.size)
-            )
+            self._bloom = BloomFilter.decode(self._retrying(
+                lambda: storage.read_file(name, filter_handle.offset,
+                                          filter_handle.size)))
+
+    def _retrying(self, fetch):
+        """Run ``fetch`` with bounded re-reads and simulated backoff."""
+        attempt = 0
+        while True:
+            try:
+                return fetch()
+            except (CorruptionError, MediaError) as exc:
+                if self._stats is not None and isinstance(exc, MediaError):
+                    self._stats.media_errors += 1
+                if attempt >= self._retries:
+                    raise
+                attempt += 1
+                if self._stats is not None:
+                    self._stats.read_retries += 1
+                backoff = self._backoff * (2 ** (attempt - 1))
+                if backoff > 0:
+                    self._storage.drive.clock.advance(backoff)
 
     def prefetch(self) -> None:
         """Read the entire file sequentially; later block reads are free."""
         if self._buffer is None:
-            self._buffer = self._storage.read_file(self.name, 0, self.file_size)
+            self._buffer = self._retrying(
+                lambda: self._storage.read_file(self.name, 0, self.file_size))
 
     def release(self) -> None:
         """Drop the prefetched buffer."""
@@ -196,17 +238,46 @@ class SSTableReader:
 
     def _read_block(self, handle: BlockHandle) -> Block:
         if self._buffer is not None:
-            return Block(self._buffer[handle.offset : handle.offset + handle.size])
+            try:
+                return Block(self._buffer[handle.offset : handle.offset + handle.size],
+                             verify=self._paranoid)
+            except CorruptionError:
+                # A rotted block inside the prefetched image: drop the
+                # buffer and fall through to the per-block device path,
+                # whose retries can clear a transient fault.
+                self.release()
         if self._cache is not None:
             key = (self.name, handle.offset)
             block = self._cache.get(key)
             if block is not None:
                 return block
-        data = self._storage.read_file(self.name, handle.offset, handle.size)
-        block = Block(data)
+        block = self._fetch_block(handle)
         if self._cache is not None:
             self._cache.put((self.name, handle.offset), block)
         return block
+
+    def _fetch_block(self, handle: BlockHandle, verify: bool | None = None) -> Block:
+        """Fetch one block from the device (no cache) with retries."""
+        check = self._paranoid if verify is None else verify
+        return self._retrying(lambda: Block(
+            self._storage.read_file(self.name, handle.offset, handle.size),
+            verify=check))
+
+    def verify_blocks(self) -> int:
+        """Checksum every data block straight off the device.
+
+        The scrubber's table walk: bypasses the block cache and any
+        prefetched buffer (a cached copy can mask on-media rot), always
+        verifies CRCs regardless of ``paranoid_checks``, and raises the
+        first persistent :class:`~repro.errors.CorruptionError` /
+        :class:`~repro.errors.MediaError` after the usual retries.
+        Returns the number of blocks checked.
+        """
+        checked = 0
+        for _key, handle in self._index:
+            self._fetch_block(handle, verify=True)
+            checked += 1
+        return checked
 
     def _find_block_index(self, target: InternalKey) -> int:
         """First block whose largest key is >= ``target`` (len == miss)."""
@@ -279,7 +350,17 @@ class SSTableReader:
         last = handles[-1].offset + handles[-1].size
         if self._buffer is not None:
             data = self._buffer[first:last]
-        else:
+            try:
+                return [Block(data[h.offset - first : h.offset - first + h.size],
+                              verify=self._paranoid)
+                        for h in handles]
+            except CorruptionError:
+                self.release()  # rotted prefetch image: re-read the range
+
+        def fetch() -> list[Block]:
             data = self._storage.read_file(self.name, first, last - first)
-        return [Block(data[h.offset - first : h.offset - first + h.size])
-                for h in handles]
+            return [Block(data[h.offset - first : h.offset - first + h.size],
+                          verify=self._paranoid)
+                    for h in handles]
+
+        return self._retrying(fetch)

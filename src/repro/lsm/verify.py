@@ -8,8 +8,17 @@ Walks everything the manifest references and validates:
   contents;
 * sorted levels are ordered and disjoint; a tiered last level is
   tolerated per the engine style;
+* the WAL parses end to end in strict mode (torn tails and checksum
+  mismatches are problems here, even though recovery would salvage
+  around them) and every record deserializes as a write batch;
+* both manifest slots parse; damage to the slot of record is a problem,
+  stale damage in the inactive slot is reported as such;
 * (dynamic-band storage) every live file's extent lies inside allocated
   space and no two files overlap.
+
+``verify_db(db, scrub=True)`` additionally runs the media scrubber
+(:mod:`repro.resilience.scrub`) and folds its findings in -- this is
+what ``repro verify --scrub`` invokes.
 
 Returns a :class:`VerifyReport`; ``ok`` is False with per-problem
 messages rather than raising, so operators can inspect damage.
@@ -19,9 +28,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.errors import ReproError
+from repro.errors import CorruptionError, ReproError
 from repro.lsm.db import DB
 from repro.lsm.sstable import SSTableReader
+from repro.lsm.wal import WriteBatch, read_log_records
 
 
 @dataclass
@@ -47,14 +57,23 @@ class VerifyReport:
         return "\n".join(lines)
 
 
-def verify_db(db: DB) -> VerifyReport:
-    """Validate the full on-disk state of ``db``."""
+def verify_db(db: DB, scrub: bool = False) -> VerifyReport:
+    """Validate the full on-disk state of ``db``.
+
+    With ``scrub=True`` also run the media scrubber, which re-reads
+    every live block off the device (bypassing caches) and quarantines
+    tables that fail persistently; its findings join the report.
+    """
     report = VerifyReport()
     version = db.versions.current
 
     for level in range(version.num_levels):
         files = version.files[level]
         for meta in files:
+            if meta.quarantined:
+                report.add(f"L{level}: {meta.name} quarantined "
+                           f"(range fenced off after media errors)")
+                continue
             _verify_table(db, level, meta, report)
         if level >= 1 and not version.level_is_tiered(level):
             for a, b in zip(files, files[1:]):
@@ -62,8 +81,60 @@ def verify_db(db: DB) -> VerifyReport:
                     report.add(
                         f"L{level}: files {a.number} and {b.number} overlap")
 
+    _verify_wal(db, report)
+    _verify_manifest(db, report)
     _verify_placement(db, report)
+    if scrub:
+        scrub_report = db.scrub()
+        for name, reason in scrub_report.errors:
+            report.add(f"scrub: {name} failed verification: {reason}")
+        for problem in scrub_report.placement_problems:
+            report.add(f"scrub: {problem}")
     return report
+
+
+def _verify_wal(db: DB, report: VerifyReport) -> None:
+    """Strict-parse the WAL: recovery would salvage around damage, but
+    an fsck must name it."""
+    data = db.storage.read_log_bytes()
+    records = 0
+    try:
+        for payload in read_log_records(data, db.options.wal_block_size,
+                                        strict=True):
+            WriteBatch.deserialize(payload)
+            records += 1
+    except CorruptionError as exc:
+        report.add(f"wal: {exc} (after {records} good records)")
+
+
+def _verify_manifest(db: DB, report: VerifyReport) -> None:
+    """Walk both manifest slots (the two-slot rollover scheme).
+
+    Damage in the slot of record is a real problem; damage in the
+    inactive slot is stale by construction (``reset_meta`` wipes it on
+    rollover) but still worth naming.
+    """
+    slot_state = getattr(db.storage, "_slot_state", None)
+    if slot_state is None:
+        return
+    active = db.storage._active_meta
+    for index in (0, 1):
+        try:
+            _gen, body, usable, damaged, crc_error = slot_state(index)
+        except ReproError as exc:
+            report.add(f"manifest slot {index}: unreadable: {exc}")
+            continue
+        role = "active" if index == active else "inactive"
+        if index == active:
+            if not usable:
+                report.add(f"manifest slot {index} (active): not usable "
+                           f"({'crc mismatch' if crc_error else 'no snapshot'})")
+            elif crc_error:
+                report.add(f"manifest slot {index} (active): crc mismatch")
+            elif damaged:
+                report.add(f"manifest slot {index} (active): torn tail")
+        elif crc_error and body:
+            report.add(f"manifest slot {index} ({role}): stale crc damage")
 
 
 def _verify_table(db: DB, level: int, meta, report: VerifyReport) -> None:

@@ -32,6 +32,12 @@ from repro.util.varint import (
 )
 
 
+#: high bit of the serialized ``run`` word carrying the quarantine
+#: state, so marking a table QUARANTINED never changes a manifest
+#: record's size (file numbers stay far below 2**62)
+_QUARANTINE_BIT = 1 << 62
+
+
 @dataclass(frozen=True)
 class FileMetaData:
     """Manifest entry for one table file.
@@ -39,6 +45,13 @@ class FileMetaData:
     ``run`` groups the outputs of one compaction into a sorted run;
     tiered levels count distinct runs (not tables) for their merge
     trigger and treat each run as one overlapping unit.
+
+    ``quarantined`` is the media-fault state machine: a table whose
+    blocks persistently fail their checksums (or whose sectors raise
+    :class:`~repro.errors.MediaError`) is fenced off -- it stays in the
+    manifest so its key range is *known* to be degraded, but reads over
+    it raise :class:`~repro.errors.KeyRangeUnavailable` and compactions
+    refuse to consume it.  Only ``repair()`` clears the state.
     """
 
     number: int
@@ -47,6 +60,7 @@ class FileMetaData:
     largest: InternalKey
     entries: int = 0
     run: int = 0
+    quarantined: bool = False
 
     @property
     def name(self) -> str:
@@ -94,7 +108,8 @@ class VersionEdit:
             out += encode_fixed64(meta.number)
             out += encode_fixed64(meta.size)
             out += encode_fixed64(meta.entries)
-            out += encode_fixed64(meta.run)
+            out += encode_fixed64(meta.run
+                                  | (_QUARANTINE_BIT if meta.quarantined else 0))
             put_length_prefixed(out, meta.smallest.encode())
             put_length_prefixed(out, meta.largest.encode())
         out += encode_fixed32(len(self.deleted))
@@ -127,7 +142,8 @@ class VersionEdit:
                 number, size,
                 decode_internal_key(smallest_raw),
                 decode_internal_key(largest_raw),
-                entries, run,
+                entries, run & ~_QUARANTINE_BIT,
+                quarantined=bool(run & _QUARANTINE_BIT),
             ))
         num_deleted = decode_fixed32(data, pos)
         pos += 4
@@ -155,6 +171,7 @@ class Version:
         if files is None:
             files = [[] for _ in range(num_levels)]
         self.files = files
+        self._num_quarantined: int | None = None
 
     def level_is_tiered(self, level: int) -> bool:
         return level == 0 or (self.tiered and level == self.num_levels - 1)
@@ -167,6 +184,21 @@ class Version:
 
     def num_files(self) -> int:
         return sum(len(level) for level in self.files)
+
+    def quarantined_files(self) -> list[tuple[int, FileMetaData]]:
+        """Every fenced-off table, as ``(level, meta)`` pairs."""
+        return [(level, f) for level in range(self.num_levels)
+                for f in self.files[level] if f.quarantined]
+
+    @property
+    def num_quarantined(self) -> int:
+        """Count of quarantined tables (cached; versions are immutable)."""
+        cached = self._num_quarantined
+        if cached is None:
+            cached = sum(1 for level in self.files
+                         for f in level if f.quarantined)
+            self._num_quarantined = cached
+        return cached
 
     def total_bytes(self) -> int:
         return sum(self.level_bytes(level) for level in range(self.num_levels))
@@ -287,7 +319,8 @@ class VersionSet:
                 out += encode_fixed64(f.number)
                 out += encode_fixed64(f.size)
                 out += encode_fixed64(f.entries)
-                out += encode_fixed64(f.run)
+                out += encode_fixed64(f.run
+                                      | (_QUARANTINE_BIT if f.quarantined else 0))
                 put_length_prefixed(out, f.smallest.encode())
                 put_length_prefixed(out, f.largest.encode())
         return bytes(out)
@@ -322,7 +355,8 @@ class VersionSet:
                     number, size,
                     decode_internal_key(smallest_raw),
                     decode_internal_key(largest_raw),
-                    entries, run,
+                    entries, run & ~_QUARANTINE_BIT,
+                    quarantined=bool(run & _QUARANTINE_BIT),
                 ))
             files.append(level_files)
         vs.current = Version(num_levels, files, tiered)

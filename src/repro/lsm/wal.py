@@ -12,6 +12,25 @@ Record payloads are serialized :class:`WriteBatch` es::
 
 Recovery replays batches in order, re-inserting them into a fresh
 memtable (see :meth:`repro.lsm.db.DB.reopen`).
+
+Damage policy (one rule, two presentations).  A WAL is damaged the
+moment *any* frame fails -- a torn tail (truncated header or payload),
+a checksum mismatch, or impossible fragment sequencing.  All three are
+treated identically: **the log ends at the damage**; every complete
+record before it is good, everything at or after it is garbage.  The
+two parsers present that same rule differently:
+
+* :func:`scan_log` -- the *salvage* view used by recovery: returns the
+  good prefix and its length, never raises.  ``DB.recover`` then
+  rewrites the salvaged records as a fresh log so later appends are
+  reachable.
+* :func:`read_log_records` -- the same salvage by default; with
+  ``strict=True`` (the fsck/audit view) any damage -- torn tails
+  included -- raises :class:`~repro.errors.CorruptionError` naming the
+  offset, so ``verify`` can report it.
+
+Both are thin consumers of one shared frame walker (:func:`_frames`),
+so the policies cannot drift apart again.
 """
 
 from __future__ import annotations
@@ -156,29 +175,25 @@ class LogWriter:
         self._block_offset = 0
 
 
-def scan_log(data: bytes, block_size: int = 32 * 1024) -> tuple[list[bytes], int]:
-    """Salvage the valid prefix of a possibly torn log.
+def _frames(data: bytes, block_size: int
+            ) -> Iterator[tuple[int, int, bytes, str | None]]:
+    """Walk the log's frames: yields ``(offset, type, fragment, damage)``.
 
-    Returns ``(payloads, valid_len)``: every complete record whose
-    frames all checksum, and the byte length of the log prefix those
-    records occupy.  Parsing stops -- without raising -- at the first
-    torn, corrupt, or incomplete frame, so a crash that tore the tail of
-    the log (or corrupted it in flight) costs only records at or after
-    the damage.  ``valid_len < len(data)`` tells the caller the tail is
-    garbage and the log must be rewritten before further appends, else a
-    later recovery would stop at the damage and lose the new records.
+    The single source of truth for frame-level damage.  ``damage`` is
+    ``None`` for a healthy frame; otherwise it names what is wrong
+    (``"torn header"``, ``"torn payload"``, ``"crc mismatch"``) and the
+    walk ends after that yield -- nothing past damage is trustworthy.
+    Zero padding and block-tail slack are skipped silently.
     """
-    payloads: list[bytes] = []
-    valid_len = 0
     pos = 0
-    fragments: list[bytes] = []
     while pos < len(data):
         block_remaining = block_size - pos % block_size
         if block_remaining < HEADER_SIZE:
             pos += block_remaining
             continue
         if pos + HEADER_SIZE > len(data):
-            break
+            yield pos, 0, b"", "torn header"
+            return
         crc = decode_fixed32(data, pos)
         length = int.from_bytes(data[pos + 4 : pos + 6], "little")
         type_ = data[pos + 6]
@@ -187,14 +202,39 @@ def scan_log(data: bytes, block_size: int = 32 * 1024) -> tuple[list[bytes], int
             continue
         start = pos + HEADER_SIZE
         if start + length > len(data):
-            break
+            yield pos, type_, b"", "torn payload"
+            return
         fragment = data[start : start + length]
         if zlib.crc32(bytes([type_]) + fragment) != crc:
-            break
+            yield pos, type_, fragment, "crc mismatch"
+            return
+        yield pos, type_, fragment, None
         pos = start + length
+
+
+def scan_log(data: bytes, block_size: int = 32 * 1024) -> tuple[list[bytes], int]:
+    """Salvage the valid prefix of a possibly damaged log.
+
+    Returns ``(payloads, valid_len)``: every complete record whose
+    frames all checksum, and the byte length of the log prefix those
+    records occupy.  Parsing stops -- without raising -- at the first
+    damaged frame, whether the damage is a torn tail, a mid-log
+    checksum mismatch, or broken fragment sequencing (the module's one
+    damage policy), so any damage costs only records at or after it.
+    ``valid_len < len(data)`` tells the caller the tail is garbage and
+    the log must be rewritten before further appends, else a later
+    recovery would stop at the damage and lose the new records.
+    """
+    payloads: list[bytes] = []
+    valid_len = 0
+    fragments: list[bytes] = []
+    for pos, type_, fragment, damage in _frames(data, block_size):
+        if damage is not None:
+            break
+        end = pos + HEADER_SIZE + len(fragment)
         if type_ == _FULL and not fragments:
             payloads.append(fragment)
-            valid_len = pos
+            valid_len = end
         elif type_ == _FIRST and not fragments:
             fragments = [fragment]
         elif type_ == _MIDDLE and fragments:
@@ -203,58 +243,63 @@ def scan_log(data: bytes, block_size: int = 32 * 1024) -> tuple[list[bytes], int
             fragments.append(fragment)
             payloads.append(b"".join(fragments))
             fragments = []
-            valid_len = pos
+            valid_len = end
         else:
-            break
+            break  # impossible sequencing: same damage policy
     return payloads, valid_len
 
 
-def read_log_records(data: bytes, block_size: int = 32 * 1024) -> Iterator[bytes]:
+def read_log_records(data: bytes, block_size: int = 32 * 1024,
+                     strict: bool = False) -> Iterator[bytes]:
     """Parse framed bytes back into record payloads.
 
-    Truncated trailing data (an interrupted write) is tolerated and
-    ignored, like LevelDB's recovery mode; corrupt checksums raise.
+    Default mode is the module's salvage policy -- identical to
+    :func:`scan_log`: stop silently at the first damage of any kind.
+    ``strict=True`` is the fsck/audit mode: every damage -- torn tails
+    included -- raises :class:`CorruptionError` naming the offset, so
+    integrity checkers can report exactly what is wrong rather than
+    quietly serving a shortened log.
     """
-    pos = 0
     fragments: list[bytes] = []
-    while pos < len(data):
-        block_remaining = block_size - pos % block_size
-        if block_remaining < HEADER_SIZE:
-            pos += block_remaining
-            continue
-        if pos + HEADER_SIZE > len(data):
-            break
-        crc = decode_fixed32(data, pos)
-        length = int.from_bytes(data[pos + 4 : pos + 6], "little")
-        type_ = data[pos + 6]
-        if type_ == 0 and length == 0:
-            # zero padding inside a block tail
-            pos += block_remaining
-            continue
-        start = pos + HEADER_SIZE
-        if start + length > len(data):
-            break  # truncated tail
-        fragment = data[start : start + length]
-        if zlib.crc32(bytes([type_]) + fragment) != crc:
-            raise CorruptionError(f"wal record crc mismatch at offset {pos}")
-        pos = start + length
+    for pos, type_, fragment, damage in _frames(data, block_size):
+        if damage is not None:
+            if strict:
+                raise CorruptionError(f"wal {damage} at offset {pos}")
+            return
         if type_ == _FULL:
             if fragments:
-                raise CorruptionError("FULL record inside fragmented record")
+                if strict:
+                    raise CorruptionError(
+                        f"wal FULL record inside fragmented record at offset {pos}")
+                return
             yield fragment
         elif type_ == _FIRST:
             if fragments:
-                raise CorruptionError("FIRST record inside fragmented record")
+                if strict:
+                    raise CorruptionError(
+                        f"wal FIRST record inside fragmented record at offset {pos}")
+                return
             fragments = [fragment]
         elif type_ == _MIDDLE:
             if not fragments:
-                raise CorruptionError("MIDDLE record without FIRST")
+                if strict:
+                    raise CorruptionError(
+                        f"wal MIDDLE record without FIRST at offset {pos}")
+                return
             fragments.append(fragment)
         elif type_ == _LAST:
             if not fragments:
-                raise CorruptionError("LAST record without FIRST")
+                if strict:
+                    raise CorruptionError(
+                        f"wal LAST record without FIRST at offset {pos}")
+                return
             fragments.append(fragment)
             yield b"".join(fragments)
             fragments = []
         else:
-            raise CorruptionError(f"bad wal record type {type_}")
+            if strict:
+                raise CorruptionError(
+                    f"bad wal record type {type_} at offset {pos}")
+            return
+    if fragments and strict:
+        raise CorruptionError("wal ends inside a fragmented record")

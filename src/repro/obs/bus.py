@@ -196,6 +196,16 @@ def _count(name: str):
     return update
 
 
+def _on_scrub(m: MetricsRegistry, e) -> None:
+    m.counter("scrub.passes").inc()
+    m.counter("scrub.blocks").inc(e.blocks)
+    m.counter("scrub.errors").inc(e.errors)
+
+
+def _on_quarantine(m: MetricsRegistry, e) -> None:
+    m.counter("resilience.quarantine_events").inc()
+
+
 _METRIC_UPDATES: dict[str, Callable[[MetricsRegistry, Event], None]] = {
     "op.put": _on_put,
     "op.get": _on_get,
@@ -217,6 +227,9 @@ _METRIC_UPDATES: dict[str, Callable[[MetricsRegistry, Event], None]] = {
     "zone.gc": _on_zone_gc,
     "set.register": _count("sets.registered"),
     "set.fade": _count("sets.faded"),
+    "scrub.pass": _on_scrub,
+    "table.quarantine": _on_quarantine,
+    "repair.drop": _count("repair.drops"),
 }
 
 

@@ -197,6 +197,39 @@ class SetFade(Event):
     nbytes: int
 
 
+# -- media-fault resilience ---------------------------------------------------
+
+@dataclass
+class ScrubEvent(Event):
+    """One scrubber pass over a store's live data finished."""
+
+    TYPE = "scrub.pass"
+    tables: int
+    blocks: int
+    errors: int       # tables that failed verification this pass
+    quarantined: int  # tables newly quarantined this pass
+    duration: float
+
+
+@dataclass
+class QuarantineEvent(Event):
+    """A table was fenced off after persistent media errors."""
+
+    TYPE = "table.quarantine"
+    name: str
+    level: int
+    reason: str
+
+
+@dataclass
+class RepairDrop(Event):
+    """``repair()`` discarded an unreadable or malformed table."""
+
+    TYPE = "repair.drop"
+    name: str
+    reason: str
+
+
 #: wire name -> event class, for filter validation and trace replay
 EVENT_TYPES: dict[str, type[Event]] = {
     cls.TYPE: cls
@@ -205,6 +238,6 @@ EVENT_TYPES: dict[str, type[Event]] = {
         CompactionStart, CompactionEnd, BandAllocate, BandFree,
         BandCoalesce, BandSplit, RMWEvent, MediaCacheClean, ZoneReset,
         WALAppend, ManifestAppend, ExtentAllocate, ZoneGC,
-        SetRegister, SetFade,
+        SetRegister, SetFade, ScrubEvent, QuarantineEvent, RepairDrop,
     )
 }

@@ -1,0 +1,40 @@
+"""Media-fault resilience: error injection, scrubbing, quarantine.
+
+Real SMR deployments are dominated by *latent sector errors* (a read
+simply fails) and *silent bit-rot* (the drive returns flipped bytes and
+no error).  This package gives the simulation both failure modes and
+the machinery that keeps a store serving through them:
+
+* :class:`~repro.resilience.media.MediaErrorMap` -- a persistent,
+  seeded per-drive map of bad sectors and rotted bytes, attached with
+  :meth:`repro.smr.drive.Drive.inject_media_errors`.  Unlike one-shot
+  failpoint actions, these faults survive retries and reopens -- the
+  difference between a transient glitch and a dying platter.
+* :func:`~repro.resilience.scrub.scrub` -- the background scrubber:
+  walks every live table block-by-block (and the extent map against
+  the free-space ledger), finds rot *before* a foreground read does,
+  and quarantines tables that fail persistently.
+* quarantine itself lives in :mod:`repro.lsm.db` (the manifest marks
+  the table ``QUARANTINED``; reads over its key range raise
+  :class:`~repro.errors.KeyRangeUnavailable` while every other range
+  keeps serving); shard-level health states live in
+  :mod:`repro.shard.store`.
+
+Zero-cost discipline: with no map attached and no failpoints armed,
+the read path does one ``is None`` check per drive read -- simulated
+timings and figure outputs are bit-identical to a tree without this
+package.
+"""
+
+from repro.errors import KeyRangeUnavailable, MediaError, ShardUnavailable
+from repro.resilience.media import MediaErrorMap
+from repro.resilience.scrub import ScrubReport, scrub
+
+__all__ = [
+    "KeyRangeUnavailable",
+    "MediaError",
+    "MediaErrorMap",
+    "ScrubReport",
+    "ShardUnavailable",
+    "scrub",
+]

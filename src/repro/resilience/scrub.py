@@ -1,0 +1,136 @@
+"""Background scrubber: find media rot before a foreground read does.
+
+Latent sector errors are *latent* because nobody reads the sector; on
+real fleets the window between rot landing and rot being noticed is
+what turns one bad sector into data loss (the redundant copy rotted
+too).  The scrubber closes that window for the simulation: it walks
+every live table block-by-block straight off the device -- bypassing
+the block cache, whose healthy copies would mask on-media damage --
+and cross-checks each file's physical extents against the placement
+ledger (the dynamic-band free-space map or the raw drive's valid-data
+extent map).
+
+Tables that fail persistently (the reader's bounded retries are
+exhausted) are quarantined through the engine's normal state machine,
+so a scrub-detected fault and a read-detected fault leave the store in
+exactly the same degraded-but-serving state.
+
+Entry points: :meth:`repro.kvstore.KVStoreBase.scrub`, the engine's
+idle path (``Options.scrub_interval_flushes``), and the ``repro
+scrub`` CLI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import CorruptionError, MediaError
+from repro.obs.events import ScrubEvent
+
+
+@dataclass
+class ScrubReport:
+    """Outcome of one scrub pass over a single engine."""
+
+    tables_checked: int = 0
+    blocks_checked: int = 0
+    #: tables that failed verification, as ``(name, reason)``
+    errors: list[tuple[str, str]] = field(default_factory=list)
+    #: tables newly quarantined by this pass
+    quarantined: list[str] = field(default_factory=list)
+    #: extent/placement problems found by the free-space cross-check
+    placement_problems: list[str] = field(default_factory=list)
+    duration: float = 0.0
+
+    @property
+    def clean(self) -> bool:
+        return not self.errors and not self.placement_problems
+
+    def merge(self, other: "ScrubReport") -> None:
+        self.tables_checked += other.tables_checked
+        self.blocks_checked += other.blocks_checked
+        self.errors += other.errors
+        self.quarantined += other.quarantined
+        self.placement_problems += other.placement_problems
+        self.duration += other.duration
+
+    def render(self) -> str:
+        status = "CLEAN" if self.clean else (
+            f"{len(self.errors)} BAD TABLE(S), "
+            f"{len(self.placement_problems)} PLACEMENT PROBLEM(S)")
+        lines = [f"scrub: {status} -- {self.tables_checked} tables, "
+                 f"{self.blocks_checked:,} blocks"]
+        lines += [f"  - {name}: {reason}" for name, reason in self.errors]
+        lines += [f"  - quarantined {name}" for name in self.quarantined]
+        lines += [f"  - {p}" for p in self.placement_problems]
+        return "\n".join(lines)
+
+
+def scrub(db) -> ScrubReport:
+    """One full scrub pass over ``db`` (a :class:`repro.lsm.db.DB`).
+
+    Reads are real timed device I/O on the simulated clock -- a scrub
+    costs what it would cost on hardware, which is why the engine only
+    runs it on its idle path.  Already-quarantined tables are skipped
+    (known bad; re-reading them is wasted head time).
+    """
+    start = db.now
+    report = ScrubReport()
+    version = db.versions.current
+    for level in range(version.num_levels):
+        for meta in list(version.files[level]):
+            if meta.quarantined:
+                continue
+            report.tables_checked += 1
+            try:
+                report.blocks_checked += db._table(meta).verify_blocks()
+            except (CorruptionError, MediaError) as exc:
+                reason = str(exc) or type(exc).__name__
+                report.errors.append((meta.name, reason))
+                db._quarantine(level, meta, reason)
+                report.quarantined.append(meta.name)
+    _check_placement(db, report)
+    report.duration = db.now - start
+    obs = db._obs
+    if obs is not None:
+        obs.emit(ScrubEvent(ts=db.now, tables=report.tables_checked,
+                            blocks=report.blocks_checked,
+                            errors=len(report.errors),
+                            quarantined=len(report.quarantined),
+                            duration=report.duration))
+    return report
+
+
+def _check_placement(db, report: ScrubReport) -> None:
+    """Cross-check live file extents against the space ledgers.
+
+    Two independent books must agree about every live byte: the storage
+    policy's allocation map (dynamic-band ``manager.allocated``) and,
+    on raw HM-SMR drives, the device's own valid-data extent map.  A
+    live extent missing from either means a trim/free raced ahead of
+    the manifest -- exactly the class of bug that silently hands a
+    table's bytes to the next writer.
+    """
+    storage = db.storage
+    manager = getattr(storage, "manager", None)
+    allocated = getattr(manager, "allocated", None)
+    drive_valid = getattr(storage.drive, "valid", None)
+    live = {meta.name
+            for level in db.versions.current.files
+            for meta in level}
+    for name in sorted(live):
+        if not storage.exists(name):
+            report.placement_problems.append(
+                f"{name}: referenced by manifest but missing from storage")
+            continue
+        for ext in storage.file_extents(name):
+            if allocated is not None and not allocated.contains_range(
+                    ext.start, ext.end):
+                report.placement_problems.append(
+                    f"{name}: extent [{ext.start}, {ext.end}) outside "
+                    f"allocated space")
+            if drive_valid is not None and not drive_valid.contains_range(
+                    ext.start, ext.end):
+                report.placement_problems.append(
+                    f"{name}: extent [{ext.start}, {ext.end}) not valid "
+                    f"on the drive")

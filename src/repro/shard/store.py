@@ -36,7 +36,14 @@ from __future__ import annotations
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Iterable, Iterator, Sequence
 
-from repro.errors import ReproError
+from repro.errors import (
+    DriveError,
+    InvariantViolation,
+    KeyRangeUnavailable,
+    ReproError,
+    ShardUnavailable,
+    StorageError,
+)
 from repro.harness.metrics import ShardTimeline
 from repro.kvstore import KVStoreBase
 from repro.lsm.db import CompactionRecord, DBStats
@@ -79,6 +86,48 @@ class FanoutObservability(Observability):
         super().unsubscribe(callback)
         for child in self._children:
             child.unsubscribe(callback)
+
+
+# Shard health states.  HEALTHY and DEGRADED are derived (a shard with
+# quarantined tables is degraded but still serves every other range);
+# FAILED is sticky -- set when a shard raises a fatal drive/storage/
+# invariant error -- and only cleared by a successful recovery in
+# :meth:`ShardedStore.reopen`.
+HEALTHY = "healthy"
+DEGRADED = "degraded"
+FAILED = "failed"
+
+
+class ShardedScan:
+    """A merged cross-shard scan that knows whether it is complete.
+
+    Iterates like the plain generator it wraps; additionally exposes
+    ``skipped_shards`` (indices whose shard was failed at scan start or
+    failed mid-stream) and ``partial`` (true when any shard was
+    skipped).  A shard failing *mid-stream* ends its contribution but
+    not the scan -- surviving shards keep feeding the merge.
+    """
+
+    def __init__(self, pairs: Iterator[tuple[bytes, bytes]],
+                 skipped: list[int]) -> None:
+        self._pairs = pairs
+        #: shared with the stream guards, so mid-scan failures appear here
+        self.skipped_shards = skipped
+
+    @property
+    def partial(self) -> bool:
+        return bool(self.skipped_shards)
+
+    def __iter__(self) -> "ShardedScan":
+        return self
+
+    def __next__(self) -> tuple[bytes, bytes]:
+        return next(self._pairs)
+
+    def close(self) -> None:
+        close = getattr(self._pairs, "close", None)
+        if close is not None:
+            close()
 
 
 class ShardedSnapshot:
@@ -158,6 +207,7 @@ class ShardedStore(KVStoreBase):
         self._parallel = parallel
         self._max_workers = max_workers
         self._pool: ThreadPoolExecutor | None = None
+        self._failed: set[int] = set()
         self._obs = None
         self.obs = FanoutObservability(self.name, self.shards)
         self._register_gauges(self.obs.metrics)
@@ -188,25 +238,90 @@ class ShardedStore(KVStoreBase):
             return [future.result() for future in futures]
         return [fn(*job) for job in jobs]
 
+    # -- fault isolation -----------------------------------------------------
+
+    def _check_available(self, index: int) -> None:
+        if index in self._failed:
+            raise ShardUnavailable(f"shard {index} is failed")
+
+    def _guarded(self, index: int, fn: Callable):
+        """Run one shard operation behind the fault boundary.
+
+        A typed :class:`KeyRangeUnavailable` (quarantined table) passes
+        through untouched -- the shard is degraded, not dead, and the
+        caller gets the precise range error.  Anything fatal below the
+        engine (drive, storage, broken invariant) marks the shard FAILED
+        and surfaces as :class:`ShardUnavailable`; the sibling shards
+        keep serving.
+        """
+        try:
+            return fn()
+        except ShardUnavailable:
+            raise
+        except KeyRangeUnavailable:
+            raise
+        except (DriveError, StorageError, InvariantViolation) as exc:
+            self._failed.add(index)
+            raise ShardUnavailable(f"shard {index} failed: {exc}") from exc
+
+    def shard_health(self) -> list[str]:
+        """Per-shard health: FAILED is sticky until recovery; a live
+        shard with quarantined tables is DEGRADED."""
+        return [FAILED if index in self._failed
+                else DEGRADED if shard.quarantined_tables
+                else HEALTHY
+                for index, shard in enumerate(self.shards)]
+
     # -- operations ---------------------------------------------------------
 
     def put(self, key: bytes, value: bytes) -> None:
-        self.shard_for(key).put(key, value)
+        index = self.router.shard_of(key)
+        self._check_available(index)
+        self._guarded(index, lambda: self.shards[index].put(key, value))
 
     def get(self, key: bytes) -> bytes | None:
-        return self.shard_for(key).get(key)
+        index = self.router.shard_of(key)
+        self._check_available(index)
+        return self._guarded(index, lambda: self.shards[index].get(key))
 
     def delete(self, key: bytes) -> None:
-        self.shard_for(key).delete(key)
+        index = self.router.shard_of(key)
+        self._check_available(index)
+        self._guarded(index, lambda: self.shards[index].delete(key))
+
+    def _guarded_stream(self, index: int, skipped: list[int],
+                        start: bytes | None, end: bytes | None,
+                        limit: int | None) -> Iterator[tuple[bytes, bytes]]:
+        """One shard's scan stream behind the fault boundary: a fatal
+        failure mid-stream marks the shard FAILED, records it in the
+        scan's ``skipped_shards`` and ends this stream -- the merge
+        continues over the survivors.  Range quarantines still raise."""
+        try:
+            yield from self.shards[index].scan(start, end, limit)
+        except ShardUnavailable:
+            raise
+        except KeyRangeUnavailable:
+            raise
+        except (DriveError, StorageError, InvariantViolation):
+            self._failed.add(index)
+            skipped.append(index)
 
     def scan(self, start: bytes | None = None, end: bytes | None = None,
-             limit: int | None = None) -> Iterator[tuple[bytes, bytes]]:
+             limit: int | None = None) -> ShardedScan:
+        """Scatter-gather scan over the live shards.
+
+        Failed shards are skipped rather than failing the whole scan;
+        the returned :class:`ShardedScan` flags the result ``partial``
+        and names the ``skipped_shards``.
+        """
         candidates = self.router.shards_for_range(start, end)
-        streams = [self.shards[i].scan(start, end, limit) for i in candidates]
+        skipped = [i for i in candidates if i in self._failed]
+        streams = [self._guarded_stream(i, skipped, start, end, limit)
+                   for i in candidates if i not in self._failed]
         merged = _limited(merge_shard_scans(streams), limit)
-        if self._obs is None:
-            return merged
-        return self._observed_scan(merged)
+        if self._obs is not None:
+            merged = self._observed_scan(merged)
+        return ShardedScan(merged, skipped)
 
     def _observed_scan(self, merged: Iterator[tuple[bytes, bytes]]
                        ) -> Iterator[tuple[bytes, bytes]]:
@@ -231,9 +346,15 @@ class ShardedStore(KVStoreBase):
                 sub.put(key, value)
             else:
                 sub.delete(key)
-        self._fanout(lambda shard, sub: shard.write_batch(sub),
-                     [(self.shards[index], sub)
-                      for index, sub in sorted(subs.items())])
+        jobs = sorted(subs.items())
+        # Refuse up front if any target shard is failed -- better no
+        # sub-batch lands than a surprise subset.
+        for index, _sub in jobs:
+            self._check_available(index)
+        self._fanout(
+            lambda index, sub: self._guarded(
+                index, lambda: self.shards[index].write_batch(sub)),
+            jobs)
 
     def bulk_load(self, pairs: Iterable[tuple[bytes, bytes]],
                   batch_size: int = 256) -> ShardTimeline:
@@ -257,20 +378,32 @@ class ShardedStore(KVStoreBase):
             if len(batch):
                 shard.write_batch(batch)
 
-        self._fanout(load, list(zip(self.shards, per_shard)))
+        for index, items in enumerate(per_shard):
+            if items:
+                self._check_available(index)
+        self._fanout(
+            lambda index, items: self._guarded(
+                index, lambda: load(self.shards[index], items)),
+            list(enumerate(per_shard)))
         spent = [shard.now - start
                  for shard, start in zip(self.shards, starts)]
         return ShardTimeline(per_shard=spent)
 
+    def _live_shards(self) -> list[tuple[int, KVStoreBase]]:
+        return [(index, shard) for index, shard in enumerate(self.shards)
+                if index not in self._failed]
+
     def compact_range(self, start: bytes | None = None,
                       end: bytes | None = None) -> int:
         return sum(self._fanout(
-            lambda shard: shard.compact_range(start, end),
-            [(shard,) for shard in self.shards]))
+            lambda index, shard: self._guarded(
+                index, lambda: shard.compact_range(start, end)),
+            self._live_shards()))
 
     def flush(self) -> None:
-        self._fanout(lambda shard: shard.flush(),
-                     [(shard,) for shard in self.shards])
+        self._fanout(
+            lambda index, shard: self._guarded(index, shard.flush),
+            self._live_shards())
 
     def close(self) -> None:
         self._fanout(lambda shard: shard.close(),
@@ -280,12 +413,61 @@ class ShardedStore(KVStoreBase):
             self._pool = None
 
     def reopen(self) -> "ShardedStore":
-        for shard in self.shards:
-            shard.reopen()
+        """Crash-restart every shard, running per-shard recovery.
+
+        A shard that recovers cleanly but still carries quarantined
+        tables -- or that cannot recover at all -- goes through the
+        repair path (rebuild the manifest from surviving tables,
+        dropping the bad ones) and rejoins.  Only a shard whose repair
+        itself fails stays FAILED; the facade never stops serving the
+        others.
+        """
+        for index, shard in enumerate(self.shards):
+            try:
+                shard.reopen()
+            except ReproError:
+                self._failed.add(index)
+                try:
+                    shard.repair()
+                except ReproError:
+                    continue  # stays failed; siblings keep serving
+            if shard.quarantined_tables:
+                try:
+                    shard.repair()
+                except ReproError:
+                    self._failed.add(index)
+                    continue
+            self._failed.discard(index)
         return self
 
     def snapshot(self) -> ShardedSnapshot:
         return ShardedSnapshot(self)
+
+    # -- resilience ---------------------------------------------------------
+
+    def scrub(self):
+        """Scrub every live shard; returns one merged
+        :class:`~repro.resilience.scrub.ScrubReport`."""
+        from repro.resilience.scrub import ScrubReport
+        merged = ScrubReport()
+        for index, shard in self._live_shards():
+            merged.merge(self._guarded(index, shard.scrub))
+        return merged
+
+    def repair(self) -> list:
+        """Repair every shard (failed ones included -- this is the
+        recovery path); shards whose repair succeeds rejoin the fleet.
+        Returns the per-shard repair reports."""
+        reports = []
+        for index, shard in enumerate(self.shards):
+            try:
+                reports.append(shard.repair())
+            except ReproError:
+                self._failed.add(index)
+                reports.append(None)
+            else:
+                self._failed.discard(index)
+        return reports
 
     # -- measurements -------------------------------------------------------
 
@@ -311,7 +493,23 @@ class ShardedStore(KVStoreBase):
             merged.scans += s.scans
             merged.get_hits += s.get_hits
             merged.tables_opened += s.tables_opened
+            merged.read_retries += s.read_retries
+            merged.media_errors += s.media_errors
+            merged.quarantines += s.quarantines
         return merged
+
+    @property
+    def quarantined_tables(self) -> int:
+        """Quarantined tables across all live shards."""
+        return sum(shard.quarantined_tables
+                   for index, shard in enumerate(self.shards)
+                   if index not in self._failed)
+
+    def degraded_ranges(self) -> list[tuple[bytes, bytes]]:
+        """Unavailable user-key ranges across all live shards."""
+        return [rng for index, shard in enumerate(self.shards)
+                if index not in self._failed
+                for rng in shard.degraded_ranges()]
 
     @property
     def tracker(self) -> AmplificationTracker:
@@ -371,6 +569,13 @@ class ShardedStore(KVStoreBase):
         merged.gauge("amp.wa").set(self.wa())
         merged.gauge("amp.awa").set(self.awa())
         merged.gauge("amp.mwa").set(self.mwa())
+        # Gauges merge keep-last, so resilience totals must be summed
+        # here explicitly or `repro metrics` would show one shard's view.
+        merged.gauge("resilience.quarantined_tables").set(
+            self.quarantined_tables)
+        merged.gauge("resilience.degraded_ranges").set(
+            len(self.degraded_ranges()))
+        merged.gauge("resilience.failed_shards").set(len(self._failed))
         return merged
 
     def describe(self) -> str:

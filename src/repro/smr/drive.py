@@ -31,6 +31,8 @@ class Drive(ABC):
         self._data = bytearray(capacity)
         #: observability bus; None while no subscriber (zero-cost hooks)
         self._obs = None
+        #: injected media faults; None while healthy (zero-cost reads)
+        self._media = None
 
     @property
     def now(self) -> float:
@@ -42,13 +44,42 @@ class Drive(ABC):
             raise OutOfRangeError(offset, length, self.capacity)
 
     def read(self, offset: int, length: int, category: str = "data") -> bytes:
-        """Read ``length`` bytes at ``offset``, advancing the clock."""
+        """Read ``length`` bytes at ``offset``, advancing the clock.
+
+        Carries the read-side fault model: a latent sector error in the
+        drive's :class:`~repro.resilience.media.MediaErrorMap` raises
+        :class:`~repro.errors.MediaError` (after the head moved and the
+        clock advanced -- the drive *tried*), rotted bytes come back
+        silently flipped, and the ``drive.read`` failpoint can corrupt
+        the returned payload one-shot.
+        """
         self._check_range(offset, length)
         seeked = offset != self.model.head
         elapsed = self.model.access(offset, length, is_write=False)
         self.stats.record_read(offset, length, elapsed, category,
                                seeked=seeked, now=self.clock.now)
-        return bytes(self._data[offset : offset + length])
+        data = bytes(self._data[offset : offset + length])
+        media = self._media
+        if media is not None:
+            media.check_read(offset, length)
+            data = media.corrupt(offset, data)
+        inj = faults.fire(faults.DRIVE_READ, data=data, clock=self.clock)
+        if inj is not None:
+            data = inj.mutate_bytes(data)
+            inj.finish()
+        return data
+
+    def inject_media_errors(self, seed: int = 0):
+        """Attach (lazily) and return this drive's media-error map."""
+        if self._media is None:
+            from repro.resilience.media import MediaErrorMap
+            self._media = MediaErrorMap(seed=seed)
+        return self._media
+
+    @property
+    def media_errors(self):
+        """The attached media-error map, or ``None`` while healthy."""
+        return self._media
 
     def write(self, offset: int, data: bytes, category: str = "data") -> None:
         """Write ``data`` at ``offset`` under this drive's semantics.
@@ -60,10 +91,14 @@ class Drive(ABC):
         inj = faults.fire(faults.DRIVE_WRITE, data=data, clock=self.clock)
         if inj is None:
             self._write_impl(offset, data, category)
+            if self._media is not None:
+                self._media.note_write(offset, len(data))
             return
         data = inj.mutate_bytes(data)
         if data:
             self._write_impl(offset, data, category)
+            if self._media is not None:
+                self._media.note_write(offset, len(data))
         inj.finish()
 
     @abstractmethod
@@ -90,6 +125,8 @@ class Drive(ABC):
         self.stats.record_write(offset, length, elapsed, category,
                                 seeked=False, now=self.clock.now)
         self._data[offset : offset + length] = data
+        if self._media is not None:
+            self._media.note_write(offset, length)
         if inj is not None:
             inj.finish()
 

@@ -27,6 +27,8 @@ exactly one byte of device traffic, which is why AWA = 1 for SEALDB.
 
 from __future__ import annotations
 
+import random
+
 from repro.errors import ShingleOverwriteError
 from repro.smr.drive import Drive
 from repro.smr.extent import ExtentMap
@@ -75,6 +77,33 @@ class RawHMSMRDrive(Drive):
     def valid_bytes(self) -> int:
         """Total bytes currently holding valid data."""
         return self.valid.total_bytes
+
+    def rot_valid_bytes(self, count: int = 1, seed: int = 0) -> list[int]:
+        """Inject bit-rot at ``count`` seeded positions inside valid data.
+
+        Models ageing shingled media: rot lands where data actually
+        lives, never in trimmed gaps (which the next write would heal
+        unnoticed).  Returns the chosen absolute offsets so tests can
+        assert on which table was hit.  Deterministic for a given seed
+        and valid-extent layout.
+        """
+        extents = list(self.valid)
+        if not extents or count <= 0:
+            return []
+        rng = random.Random(seed)
+        media = self.inject_media_errors(seed=seed)
+        total = sum(e.length for e in extents)
+        offsets = []
+        for _ in range(count):
+            pick = rng.randrange(total)
+            for extent in extents:
+                if pick < extent.length:
+                    offsets.append(extent.start + pick)
+                    break
+                pick -= extent.length
+        for offset in offsets:
+            media.add_rot(offset)
+        return offsets
 
     def highest_valid_offset(self) -> int:
         """End offset of the last valid extent (the append frontier)."""

@@ -67,7 +67,9 @@ class TestRepair:
         store.storage.reset_meta()
         db, report = repair(store.storage, store.options)
         assert report.tables_dropped >= 1
-        assert meta.name in report.dropped
+        assert meta.name in report.dropped_names
+        # every drop carries a reason
+        assert all(reason for _name, reason in report.dropped)
         # the rest of the database still reads
         hits = sum(db.get(kv.key(i)) is not None for i in range(0, 3000, 59))
         assert hits > 20

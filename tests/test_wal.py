@@ -4,7 +4,13 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.errors import CorruptionError
-from repro.lsm.wal import LogWriter, WriteBatch, read_log_records, HEADER_SIZE
+from repro.lsm.wal import (
+    HEADER_SIZE,
+    LogWriter,
+    WriteBatch,
+    read_log_records,
+    scan_log,
+)
 
 
 class _Sink:
@@ -91,13 +97,36 @@ class TestLogFraming:
         data = bytes(sink.data[: len(sink.data) - 10])
         assert list(read_log_records(data, block_size=128)) == [b"complete"]
 
-    def test_corrupt_crc_raises(self):
+    def test_corrupt_crc_raises_strict(self):
         sink = _Sink()
         LogWriter(sink, block_size=128).add_record(b"payload")
         data = bytearray(sink.data)
         data[HEADER_SIZE] ^= 0xFF
         with pytest.raises(CorruptionError):
-            list(read_log_records(bytes(data), block_size=128))
+            list(read_log_records(bytes(data), block_size=128, strict=True))
+
+    def test_corrupt_crc_salvaged_by_default(self):
+        # the unified damage policy: default parsing ends the log at the
+        # damage instead of raising -- same records scan_log salvages
+        sink = _Sink()
+        w = LogWriter(sink, block_size=128)
+        w.add_record(b"good")
+        w.add_record(b"doomed")
+        data = bytearray(sink.data)
+        data[-1] ^= 0xFF  # flip the last payload byte of the second record
+        records = list(read_log_records(bytes(data), block_size=128))
+        payloads, _valid = scan_log(bytes(data), block_size=128)
+        assert records == payloads == [b"good"]
+
+    def test_torn_tail_raises_strict(self):
+        # strict mode treats a torn tail like any other damage
+        sink = _Sink()
+        w = LogWriter(sink, block_size=128)
+        w.add_record(b"complete")
+        w.add_record(b"will-be-truncated" * 3)
+        data = bytes(sink.data[: len(sink.data) - 10])
+        with pytest.raises(CorruptionError):
+            list(read_log_records(data, block_size=128, strict=True))
 
     def test_bad_block_size_rejected(self):
         with pytest.raises(ValueError):
