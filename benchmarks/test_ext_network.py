@@ -1,0 +1,39 @@
+"""Extension bench: the serving layer over loopback, 1/2/4 shards.
+
+Boots a real TCP server per shard count, drives it with the pipelined
+closed-loop generator, and reports wall req/s alongside device-parallel
+req/s (requests / max per-shard simulated-clock advance -- the same
+convention as ``fig08_sharded``: Python's GIL serializes wall time, the
+simulated drives do not).  The shape assertion is the point of the
+sharded serving stack: device-parallel throughput scales with shard
+count while every request still gets a correct, in-order reply.
+"""
+
+from repro.experiments import ext_network as exp
+from repro.experiments.common import MiB, scaled_bytes
+
+DB_BYTES = scaled_bytes(1 * MiB)
+
+
+def test_ext_network(benchmark, record_result):
+    result = benchmark.pedantic(
+        exp.run, kwargs={"db_bytes": DB_BYTES}, rounds=1, iterations=1)
+    record_result("ext_network", exp.render(result))
+
+    # every request answered, none dropped, none shed, none failed
+    for report in result.reports.values():
+        assert report.ops == result.requests
+        assert report.ok == result.requests
+        assert report.errors == 0
+        assert report.overloaded == 0
+        assert report.unavailable == 0
+
+    # every fleet ended the run healthy, reported over the wire
+    for health in result.shard_health.values():
+        assert set(health.split(",")) == {"healthy"}
+
+    # device-parallel throughput scales with shard count: the router
+    # spreads the keyspace, so each drive's simulated clock advances
+    # ~1/N as far for the same request budget
+    assert result.speedup(2) > 1.3
+    assert result.speedup(4) > 1.3 * result.speedup(2)

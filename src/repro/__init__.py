@@ -17,6 +17,9 @@ Public entry points (everything a caller needs without reaching into
 * :class:`repro.Options` / :class:`repro.ScaleProfile` and the named
   profiles in :data:`repro.PROFILES`.
 * :mod:`repro.shard` -- routers and the sharded frontend.
+* :mod:`repro.net` -- the serving layer: RESP-subset TCP server
+  (``repro serve``), sync/pipelined client, and network load generator
+  (imported lazily; ``from repro.net import ServerThread, NetClient``).
 * :mod:`repro.obs` -- typed events, metrics registry, JSON-lines traces.
 * :class:`repro.SealDB` and friends -- the concrete classes, still
   importable directly.
@@ -62,7 +65,7 @@ PROFILES: dict[str, ScaleProfile] = {
     SMALL_PROFILE.name: SMALL_PROFILE,
 }
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "DB",

@@ -15,6 +15,7 @@ from repro.experiments import (  # noqa: F401
     ext_aging,
     ext_level_count,
     ext_multitenant,
+    ext_network,
     ext_tail_latency,
     ext_timeline,
     ext_value_size,
@@ -34,6 +35,7 @@ __all__ = [
     "ext_aging",
     "ext_level_count",
     "ext_multitenant",
+    "ext_network",
     "ext_tail_latency",
     "ext_timeline",
     "ext_value_size",

@@ -1,0 +1,113 @@
+"""Extension: serving-layer throughput over loopback, by shard count.
+
+Boots a real TCP server (``repro.net``) per shard count, preloads a
+database, drives it with the pipelined closed-loop generator, and
+probes ``INFO`` over the wire.  Two throughput numbers per row, the
+``fig08_sharded`` convention: *wall* req/s (one Python process, the
+GIL serializes execution) and *device-parallel* req/s (requests / max
+per-shard simulated-clock advance -- what independent drives would
+sustain).  The shape claim: device-parallel throughput scales with
+shard count while every request gets a correct, in-order reply and a
+clean graceful drain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import MiB, kv_for, scaled_bytes
+from repro.harness.profiles import DEFAULT_PROFILE, ScaleProfile
+from repro.lsm.wal import WriteBatch
+from repro.net.client import NetClient
+from repro.net.loadgen import LoadConfig, LoadReport, run_load
+from repro.net.server import ServerConfig, ServerThread
+from repro.registry import open_store
+
+DEFAULT_DB_BYTES = 1 * MiB
+DEFAULT_SHARD_COUNTS = (1, 2, 4)
+DEFAULT_REQUESTS = 4000
+
+
+@dataclass
+class NetworkResult:
+    db_bytes: int
+    requests: int
+    clients: int
+    pipeline: int
+    reports: dict[int, LoadReport]
+    shard_health: dict[int, str]
+
+    def speedup(self, count: int) -> float:
+        base = self.reports[min(self.reports)].sim_ops_per_sec
+        return self.reports[count].sim_ops_per_sec / base if base else 0.0
+
+
+def _preload(store, entries: int, kv) -> None:
+    batch = WriteBatch()
+    for i in range(entries):
+        batch.put(kv.key(i), kv.value(i))
+        if len(batch) >= 256:
+            store.write_batch(batch)
+            batch = WriteBatch()
+    if len(batch):
+        store.write_batch(batch)
+    store.flush()
+
+
+def run(db_bytes: int | None = None,
+        shard_counts: tuple[int, ...] = DEFAULT_SHARD_COUNTS,
+        profile: ScaleProfile = DEFAULT_PROFILE, seed: int = 0,
+        kind: str = "sealdb", clients: int = 4, pipeline: int = 16,
+        requests: int = DEFAULT_REQUESTS) -> NetworkResult:
+    if db_bytes is None:
+        db_bytes = scaled_bytes(DEFAULT_DB_BYTES)
+    kv = kv_for(profile)
+    entries = profile.entries_for_bytes(db_bytes)
+    reports: dict[int, LoadReport] = {}
+    health: dict[int, str] = {}
+    for count in shard_counts:
+        store = open_store(kind, profile=profile, shards=count)
+        _preload(store, entries, kv)
+        handle = ServerThread(store, ServerConfig(port=0)).start()
+        host, port = handle.address
+        reports[count] = run_load(
+            LoadConfig(host=host, port=port, clients=clients,
+                       pipeline=pipeline, ops=requests,
+                       key_space=entries, value_size=profile.value_size,
+                       seed=seed),
+            store=store)
+        with NetClient(host, port) as probe:
+            health[count] = probe.info().get("shard_health", "?")
+        handle.stop()
+        store.close()
+    return NetworkResult(db_bytes=db_bytes, requests=requests,
+                         clients=clients, pipeline=pipeline,
+                         reports=reports, shard_health=health)
+
+
+def render(result: NetworkResult) -> str:
+    lines = [
+        f"Serving layer over loopback (closed loop, "
+        f"{result.clients} clients x pipeline {result.pipeline}, "
+        f"{result.requests} requests, {result.db_bytes // MiB} MiB "
+        f"preload)",
+        f"{'shards':>6s} {'wall req/s':>12s} {'device req/s':>13s} "
+        f"{'p50':>9s} {'p99':>9s} {'overload':>9s} {'speedup':>8s}  health",
+    ]
+    for count, report in sorted(result.reports.items()):
+        q = report.latency.quantiles()
+        lines.append(
+            f"{count:>6d} {report.ops_per_sec:>12,.0f} "
+            f"{report.sim_ops_per_sec:>13,.0f} "
+            f"{q['p50'] * 1e3:>7.2f}ms {q['p99'] * 1e3:>7.2f}ms "
+            f"{report.overloaded:>9,} {result.speedup(count):>7.2f}x"
+            f"  {result.shard_health[count]}")
+    return "\n".join(lines)
+
+
+def main() -> None:  # pragma: no cover
+    print(render(run()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -16,7 +16,8 @@ sweeper.  The facade works as a context manager::
 
 from __future__ import annotations
 
-from typing import Iterator
+import threading
+from typing import ContextManager, Iterator
 
 from repro.fs.storage import Storage
 from repro.lsm.db import DB, CompactionRecord, DBStats, Snapshot
@@ -42,6 +43,8 @@ class KVStoreBase:
         # object anyone held); the engine mutates this same instance.
         self.stats = DBStats()
         self.db = DB(storage, options, self.tracker, stats=self.stats)
+        self._op_lock = threading.RLock()
+        self._closed = False
         self._obs = None
         self.obs = Observability(self.name)
         self._register_gauges(self.obs.metrics)
@@ -144,6 +147,11 @@ class KVStoreBase:
         self.db.flush()
 
     def close(self) -> None:
+        """Flush and close.  Idempotent: the serving layer's graceful
+        drain and a ``with`` block's ``__exit__`` may both call it."""
+        if self._closed:
+            return
+        self._closed = True
         self.db.close()
 
     def reopen(self) -> "KVStoreBase":
@@ -152,8 +160,21 @@ class KVStoreBase:
         Returns ``self`` so call sites can chain operations."""
         self.db = DB.recover(self.storage, self.options, self.tracker,
                              stats=self.stats)
+        self._closed = False
         self._wire_obs()
         return self
+
+    # -- multi-threaded callers ----------------------------------------------
+
+    def lock_for(self, key: bytes | None = None) -> ContextManager:
+        """Serialization lock for out-of-simulation callers (the
+        ``repro.net`` server's executor threads).  The engine stack is
+        single-threaded by design; a store-wide re-entrant lock makes
+        blocking invocation from a thread pool safe.  ``key`` lets a
+        sharded facade hand back a narrower (per-shard) lock so
+        requests for different shards run in parallel; ``None`` means
+        "the whole store" (scans, batches, flush, close)."""
+        return self._op_lock
 
     # -- resilience -----------------------------------------------------------
 

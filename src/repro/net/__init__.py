@@ -1,0 +1,49 @@
+"""``repro.net`` — the serving layer: wire protocol, server, client, load.
+
+The store becomes reachable over TCP::
+
+    import repro
+    from repro.net import ServerThread, NetClient
+
+    store = repro.open("sealdb", shards=2)
+    with ServerThread(store) as handle:
+        client = NetClient(*handle.address)
+        client.set(b"k", b"v")
+        assert client.get(b"k") == b"v"
+    store.close()
+
+Modules: :mod:`~repro.net.protocol` (RESP-subset codec),
+:mod:`~repro.net.server` (asyncio server: pipelining, backpressure,
+admission control, graceful drain), :mod:`~repro.net.client` (sync +
+pipelined client), :mod:`~repro.net.loadgen` (closed/open-loop load).
+"""
+
+from repro.net.client import (
+    NetClient,
+    NetError,
+    Overloaded,
+    Pipeline,
+    ServerError,
+    Unavailable,
+)
+from repro.net.loadgen import LoadConfig, LoadReport, run_load
+from repro.net.protocol import ProtocolError, RespError, RespParser
+from repro.net.server import KVServer, ServerConfig, ServerThread
+
+__all__ = [
+    "KVServer",
+    "LoadConfig",
+    "LoadReport",
+    "NetClient",
+    "NetError",
+    "Overloaded",
+    "Pipeline",
+    "ProtocolError",
+    "RespError",
+    "RespParser",
+    "ServerConfig",
+    "ServerError",
+    "ServerThread",
+    "Unavailable",
+    "run_load",
+]

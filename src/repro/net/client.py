@@ -1,0 +1,240 @@
+"""Synchronous client for the ``repro.net`` serving layer.
+
+Two modes over one connection:
+
+* direct calls -- one round trip each::
+
+      client = NetClient("127.0.0.1", 6399)
+      client.set(b"k", b"v")
+      assert client.get(b"k") == b"v"
+
+* pipelining -- queue many commands, flush them in one write, read the
+  replies in order (this is what makes a loopback benchmark measure
+  the store instead of round-trip latency)::
+
+      with client.pipeline() as pipe:
+          for i in range(100):
+              pipe.set(b"k%d" % i, b"v")
+      results = pipe.results  # 100 values, request order
+
+Error replies map back to typed exceptions mirroring the server-side
+mapping: ``-OVERLOADED`` -> :class:`Overloaded` (admission control;
+back off and retry), ``-UNAVAILABLE`` -> :class:`Unavailable` (the PR 4
+degraded mode: that key range is quarantined, everything else serves),
+anything else -> :class:`ServerError`.  Direct calls raise; pipelined
+results carry the exception *instances* in-order so one shed request
+does not discard its batch.
+"""
+
+from __future__ import annotations
+
+import socket
+
+from repro.errors import ReproError
+from repro.net.protocol import (
+    NULL,
+    RespError,
+    RespParser,
+    encode_command,
+)
+
+
+class NetError(ReproError):
+    """Client-side transport failure (connect, send, truncated reply)."""
+
+
+class ServerError(NetError):
+    """The server answered ``-CODE message``."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(f"{code} {message}".strip())
+        self.code = code
+        self.message = message
+
+
+class Overloaded(ServerError):
+    """Admission control shed the request (``-OVERLOADED``)."""
+
+
+class Unavailable(ServerError):
+    """The key range (or shard) is quarantined (``-UNAVAILABLE``)."""
+
+
+def _to_exception(error: RespError) -> ServerError:
+    cls = {"OVERLOADED": Overloaded, "UNAVAILABLE": Unavailable}.get(
+        error.code, ServerError)
+    return cls(error.code, error.message)
+
+
+class NetClient:
+    """One TCP connection speaking the RESP subset."""
+
+    def __init__(self, host: str, port: int,
+                 timeout: float | None = 30.0) -> None:
+        self.host = host
+        self.port = port
+        try:
+            self._sock = socket.create_connection((host, port),
+                                                  timeout=timeout)
+        except OSError as exc:
+            raise NetError(f"connect {host}:{port}: {exc}") from exc
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._parser = RespParser()
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _send(self, payload: bytes) -> None:
+        try:
+            self._sock.sendall(payload)
+        except OSError as exc:
+            raise NetError(f"send: {exc}") from exc
+
+    def _read_reply(self):
+        while True:
+            value = self._parser.next_value()
+            if value is not None:
+                return None if value is NULL else value
+            try:
+                data = self._sock.recv(65536)
+            except OSError as exc:
+                raise NetError(f"recv: {exc}") from exc
+            if not data:
+                raise NetError("connection closed mid-reply")
+            self._parser.feed(data)
+
+    def execute(self, *args: bytes):
+        """One command, one reply; raises on ``-...`` error replies."""
+        self._send(encode_command(list(args)))
+        value = self._read_reply()
+        if isinstance(value, RespError):
+            raise _to_exception(value)
+        return value
+
+    def execute_pipeline(self, commands: list[list[bytes]]) -> list:
+        """Send every command in one write; read replies in order.
+        Error replies come back as exception instances, not raised."""
+        if not commands:
+            return []
+        self._send(b"".join(encode_command(list(c)) for c in commands))
+        out = []
+        for _ in commands:
+            value = self._read_reply()
+            out.append(_to_exception(value)
+                       if isinstance(value, RespError) else value)
+        return out
+
+    # -- commands ------------------------------------------------------------
+
+    def ping(self) -> bool:
+        return self.execute(b"PING") == "PONG"
+
+    def set(self, key: bytes, value: bytes) -> None:
+        self.execute(b"SET", key, value)
+
+    def get(self, key: bytes) -> bytes | None:
+        return self.execute(b"GET", key)
+
+    def delete(self, key: bytes) -> None:
+        self.execute(b"DEL", key)
+
+    def mset(self, pairs: list[tuple[bytes, bytes]]) -> None:
+        """Applied as one ``write_batch`` (atomic per shard)."""
+        args: list[bytes] = [b"MSET"]
+        for key, value in pairs:
+            args.append(key)
+            args.append(value)
+        self.execute(*args)
+
+    def scan(self, start: bytes | None = None, end: bytes | None = None,
+             limit: int | None = None
+             ) -> tuple[list[tuple[bytes, bytes]], bool]:
+        """Returns ``(pairs, partial)``; ``partial`` is the sharded
+        facade's failed-shards-skipped flag, carried over the wire."""
+        args: list[bytes] = [b"SCAN", start or b"", end or b""]
+        if limit is not None:
+            args.append(b"%d" % limit)
+        reply = self.execute(*args)
+        partial, flat = reply
+        pairs = [(flat[i], flat[i + 1]) for i in range(0, len(flat), 2)]
+        return pairs, bool(partial)
+
+    def info(self) -> dict[str, str]:
+        raw = self.execute(b"INFO")
+        out: dict[str, str] = {}
+        for line in raw.decode().splitlines():
+            name, sep, value = line.partition(":")
+            if sep:
+                out[name] = value
+        return out
+
+    def quit(self) -> None:
+        try:
+            self.execute(b"QUIT")
+        except NetError:
+            pass
+
+    def pipeline(self) -> "Pipeline":
+        return Pipeline(self)
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "NetClient":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.quit()
+        self.close()
+
+
+class Pipeline:
+    """Buffer commands; flush them as one pipelined burst on
+    :meth:`execute` (or when the ``with`` block ends)."""
+
+    def __init__(self, client: NetClient) -> None:
+        self._client = client
+        self._commands: list[list[bytes]] = []
+        #: in-order reply values; error replies are exception instances
+        self.results: list = []
+
+    def __len__(self) -> int:
+        return len(self._commands)
+
+    def set(self, key: bytes, value: bytes) -> "Pipeline":
+        self._commands.append([b"SET", key, value])
+        return self
+
+    def get(self, key: bytes) -> "Pipeline":
+        self._commands.append([b"GET", key])
+        return self
+
+    def delete(self, key: bytes) -> "Pipeline":
+        self._commands.append([b"DEL", key])
+        return self
+
+    def scan(self, start: bytes | None = None, end: bytes | None = None,
+             limit: int | None = None) -> "Pipeline":
+        args: list[bytes] = [b"SCAN", start or b"", end or b""]
+        if limit is not None:
+            args.append(b"%d" % limit)
+        self._commands.append(args)
+        return self
+
+    def ping(self) -> "Pipeline":
+        self._commands.append([b"PING"])
+        return self
+
+    def execute(self) -> list:
+        self.results = self._client.execute_pipeline(self._commands)
+        self._commands = []
+        return self.results
+
+    def __enter__(self) -> "Pipeline":
+        return self
+
+    def __exit__(self, exc_type, _exc, _tb) -> None:
+        if exc_type is None:
+            self.execute()

@@ -1,0 +1,236 @@
+"""Network load generator: closed- and open-loop clients over loopback.
+
+Closed loop (the throughput probe): ``clients`` threads, each with one
+connection, keep ``pipeline`` requests outstanding until their op
+quota (or deadline) is met -- offered load adapts to service rate, so
+ops/sec measures the server+store ceiling.
+
+Open loop (the latency probe): each client fires requests on a fixed
+schedule derived from ``rate`` regardless of completions, the way real
+user traffic arrives; queueing delay shows up as latency instead of
+reduced throughput, and admission control shows up as ``-OVERLOADED``
+counts rather than client-side backlog.
+
+Both loops draw from one deterministic mixed workload (SET / GET /
+SCAN by ``read_fraction`` / ``scan_fraction``, seeded), record wall
+latency per request into the obs histogram type, and tally the typed
+error replies separately -- an ``-OVERLOADED`` shed is the admission
+policy working, not a failure.
+
+When the caller owns the store in-process (``repro bench-net``), pass
+it as ``store`` to also capture per-shard *simulated* device seconds:
+wall ops/sec on loopback is GIL-bound, while ops per max-shard-second
+is the fleet-parallel throughput the sharding work is about (same
+convention as ``repro baseline --shards``).
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.net.client import NetClient, Overloaded, ServerError, Unavailable
+from repro.obs.metrics import Histogram
+
+
+@dataclass
+class LoadConfig:
+    host: str = "127.0.0.1"
+    port: int = 0
+    clients: int = 4
+    pipeline: int = 16            # requests in flight per client (closed loop)
+    ops: int = 4000               # total request budget across clients
+    duration: float | None = None  # optional wall deadline (seconds)
+    mode: str = "closed"          # "closed" | "open"
+    rate: float = 2000.0          # open loop: aggregate target req/s
+    key_space: int = 2000
+    key_size: int = 16
+    value_size: int = 64
+    read_fraction: float = 0.5
+    scan_fraction: float = 0.02
+    scan_limit: int = 20
+    seed: int = 0
+
+
+@dataclass
+class LoadReport:
+    """What one load run measured."""
+
+    ops: int = 0
+    ok: int = 0
+    overloaded: int = 0
+    unavailable: int = 0
+    errors: int = 0
+    wall_seconds: float = 0.0
+    latency: Histogram = field(default_factory=lambda: Histogram("latency"))
+    #: per-shard simulated seconds consumed (when a store was provided)
+    shard_seconds: list[float] = field(default_factory=list)
+
+    @property
+    def ops_per_sec(self) -> float:
+        return self.ops / self.wall_seconds if self.wall_seconds else 0.0
+
+    @property
+    def sim_ops_per_sec(self) -> float:
+        """Ops per *parallel device second*: total ops over the busiest
+        shard's simulated clock advance (fleet wall-time convention)."""
+        busiest = max(self.shard_seconds, default=0.0)
+        return self.ops / busiest if busiest else 0.0
+
+    def merge(self, other: "LoadReport") -> None:
+        self.ops += other.ops
+        self.ok += other.ok
+        self.overloaded += other.overloaded
+        self.unavailable += other.unavailable
+        self.errors += other.errors
+        self.latency.merge(other.latency)
+
+    def render(self) -> str:
+        q = self.latency.quantiles()
+        lines = [
+            f"requests        {self.ops:>10,} ({self.ok:,} ok, "
+            f"{self.overloaded:,} overloaded, {self.unavailable:,} "
+            f"unavailable, {self.errors:,} errors)",
+            f"wall            {self.wall_seconds:>10.3f} s  "
+            f"({self.ops_per_sec:,.0f} req/s)",
+        ]
+        if self.shard_seconds:
+            lines.append(
+                f"device-parallel {max(self.shard_seconds):>10.3f} s  "
+                f"({self.sim_ops_per_sec:,.0f} req/s over "
+                f"{len(self.shard_seconds)} shard(s))")
+        if self.latency.count:
+            lines.append(
+                f"latency         p50 {_us(q['p50'])}  p90 {_us(q['p90'])}  "
+                f"p99 {_us(q['p99'])}  max {_us(self.latency.max)}")
+        return "\n".join(lines)
+
+
+def _us(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.2f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.1f}ms"
+    return f"{seconds * 1e6:.0f}us"
+
+
+class _Workload:
+    """Deterministic per-worker command stream."""
+
+    def __init__(self, config: LoadConfig, worker: int) -> None:
+        self._config = config
+        self._rng = random.Random((config.seed << 8) | worker)
+
+    def key(self, index: int) -> bytes:
+        return b"%0*d" % (self._config.key_size, index)
+
+    def next_command(self) -> list[bytes]:
+        c = self._config
+        roll = self._rng.random()
+        index = self._rng.randrange(c.key_space)
+        if roll < c.scan_fraction:
+            start = self.key(index)
+            return [b"SCAN", start, b"", b"%d" % c.scan_limit]
+        if roll < c.scan_fraction + c.read_fraction:
+            return [b"GET", self.key(index)]
+        value = bytes(self._rng.getrandbits(8)
+                      for _ in range(min(c.value_size, 16)))
+        value = (value * (c.value_size // len(value) + 1))[:c.value_size]
+        return [b"SET", self.key(index), value]
+
+
+def _tally(report: LoadReport, results: list, latency: float) -> None:
+    for value in results:
+        report.ops += 1
+        report.latency.record(latency)
+        if isinstance(value, Overloaded):
+            report.overloaded += 1
+        elif isinstance(value, Unavailable):
+            report.unavailable += 1
+        elif isinstance(value, ServerError):
+            report.errors += 1
+        else:
+            report.ok += 1
+
+
+def _closed_worker(config: LoadConfig, worker: int, quota: int,
+                   deadline: float | None, report: LoadReport) -> None:
+    workload = _Workload(config, worker)
+    client = NetClient(config.host, config.port)
+    try:
+        done = 0
+        while done < quota:
+            if deadline is not None and time.monotonic() >= deadline:
+                break
+            burst = min(config.pipeline, quota - done)
+            commands = [workload.next_command() for _ in range(burst)]
+            t0 = time.monotonic()
+            results = client.execute_pipeline(commands)
+            latency = time.monotonic() - t0
+            # pipelined: every request in the burst saw ~the burst RTT
+            _tally(report, results, latency)
+            done += burst
+    finally:
+        client.quit()
+        client.close()
+
+
+def _open_worker(config: LoadConfig, worker: int, quota: int,
+                 deadline: float | None, report: LoadReport) -> None:
+    workload = _Workload(config, worker)
+    client = NetClient(config.host, config.port)
+    interval = config.clients / config.rate if config.rate > 0 else 0.0
+    next_fire = time.monotonic()
+    try:
+        for _ in range(quota):
+            now = time.monotonic()
+            if deadline is not None and now >= deadline:
+                break
+            if interval:
+                if now < next_fire:
+                    time.sleep(next_fire - now)
+                next_fire += interval
+            command = workload.next_command()
+            t0 = time.monotonic()
+            results = client.execute_pipeline([command])
+            _tally(report, results, time.monotonic() - t0)
+    finally:
+        client.quit()
+        client.close()
+
+
+def run_load(config: LoadConfig, store=None) -> LoadReport:
+    """Run one load phase against a live server; returns the merged
+    :class:`LoadReport`.  ``store`` (optional, in-process) adds the
+    simulated per-shard device seconds consumed during the run."""
+    shards = list(getattr(store, "shards", [])) or ([store] if store else [])
+    clocks_before = [s.now for s in shards]
+
+    worker_fn = _closed_worker if config.mode == "closed" else _open_worker
+    per_worker = [LoadReport() for _ in range(config.clients)]
+    quota, extra = divmod(config.ops, config.clients)
+    deadline = (time.monotonic() + config.duration
+                if config.duration is not None else None)
+    threads = []
+    t0 = time.monotonic()
+    for worker in range(config.clients):
+        n = quota + (1 if worker < extra else 0)
+        thread = threading.Thread(
+            target=worker_fn,
+            args=(config, worker, n, deadline, per_worker[worker]),
+            name=f"loadgen-{worker}", daemon=True)
+        thread.start()
+        threads.append(thread)
+    for thread in threads:
+        thread.join()
+    wall = time.monotonic() - t0
+
+    merged = LoadReport()
+    for report in per_worker:
+        merged.merge(report)
+    merged.wall_seconds = wall
+    merged.shard_seconds = [s.now - before
+                            for s, before in zip(shards, clocks_before)]
+    return merged

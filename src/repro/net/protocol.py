@@ -1,0 +1,256 @@
+"""RESP-subset wire codec: incremental parser + reply encoders.
+
+The serving layer speaks a compatible subset of the Redis
+serialization protocol (RESP2).  Requests are arrays of bulk strings
+(``*N\\r\\n$len\\r\\n...``); for telnet-friendliness a bare line
+(``PING\\r\\n``) is also accepted as an *inline* command and split on
+whitespace.  Replies use the five RESP value types:
+
+====================  =======================================
+``+OK\\r\\n``           simple string (decoded to ``str``)
+``-CODE message``     error (``RespError``; CODE is the first token)
+``:42\\r\\n``           integer
+``$5\\r\\nhello\\r\\n``   bulk string (``bytes``; ``$-1`` is ``None``)
+``*N ...``            array (``list``; ``*-1`` is ``None``)
+====================  =======================================
+
+The parser is incremental and allocation-light: ``feed()`` appends to
+one buffer, ``next_value()`` / ``next_request()`` return a complete
+value or ``None`` when more bytes are needed, and malformed input
+raises :class:`ProtocolError` (the server answers ``-ERR protocol``
+and closes the connection).  Hard limits on bulk and array sizes bound
+the memory a single peer can pin before admission control even runs.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+
+CRLF = b"\r\n"
+
+#: parser safety limits (per value, before admission control applies)
+MAX_BULK = 32 * 1024 * 1024
+MAX_ARRAY = 1024 * 1024
+MAX_INLINE = 64 * 1024
+
+
+class ProtocolError(ReproError):
+    """The peer sent bytes that are not valid RESP (subset)."""
+
+
+class RespError(Exception):
+    """A ``-CODE message`` error reply, decoded.
+
+    ``code`` is the leading token (``ERR``, ``OVERLOADED``,
+    ``UNAVAILABLE`` ...), ``message`` the human remainder.
+    """
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(f"{code} {message}".strip())
+        self.code = code
+        self.message = message
+
+
+#: sentinel distinguishing "need more bytes" from a parsed None (null bulk)
+_INCOMPLETE = object()
+
+
+# -- encoding -----------------------------------------------------------------
+
+def encode_simple(text: str) -> bytes:
+    return b"+" + text.encode() + CRLF
+
+
+def encode_error(code: str, message: str) -> bytes:
+    # CR/LF inside a message would desynchronise the stream
+    flat = f"{code} {message}".replace("\r", " ").replace("\n", " ")
+    return b"-" + flat.encode() + CRLF
+
+
+def encode_int(value: int) -> bytes:
+    return b":%d\r\n" % value
+
+
+def encode_bulk(data: bytes | None) -> bytes:
+    if data is None:
+        return b"$-1\r\n"
+    return b"$%d\r\n" % len(data) + data + CRLF
+
+
+def encode_array(items: list | None) -> bytes:
+    if items is None:
+        return b"*-1\r\n"
+    parts = [b"*%d\r\n" % len(items)]
+    for item in items:
+        if item is None or isinstance(item, (bytes, bytearray)):
+            parts.append(encode_bulk(item))
+        elif isinstance(item, bool):  # before int: bool is an int subclass
+            parts.append(encode_int(int(item)))
+        elif isinstance(item, int):
+            parts.append(encode_int(item))
+        elif isinstance(item, list):
+            parts.append(encode_array(item))
+        elif isinstance(item, str):
+            parts.append(encode_bulk(item.encode()))
+        else:
+            raise ProtocolError(f"cannot encode {type(item).__name__}")
+    return b"".join(parts)
+
+
+def encode_command(args: list[bytes]) -> bytes:
+    """A client request: an array of bulk strings."""
+    parts = [b"*%d\r\n" % len(args)]
+    for arg in args:
+        if isinstance(arg, str):
+            arg = arg.encode()
+        parts.append(encode_bulk(arg))
+    return b"".join(parts)
+
+
+# -- incremental parsing ------------------------------------------------------
+
+class RespParser:
+    """Incremental RESP reader over one byte stream (either direction)."""
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+
+    def feed(self, data: bytes) -> None:
+        self._buf.extend(data)
+
+    @property
+    def buffered(self) -> int:
+        return len(self._buf)
+
+    def _find_line(self, start: int) -> int | None:
+        """Index just past the CRLF of the line beginning at ``start``."""
+        idx = self._buf.find(b"\r\n", start)
+        if idx < 0:
+            if len(self._buf) - start > MAX_INLINE:
+                raise ProtocolError("line too long")
+            return None
+        return idx + 2
+
+    def _parse_int_line(self, start: int, end: int, what: str) -> int:
+        raw = bytes(self._buf[start + 1:end - 2])
+        try:
+            return int(raw)
+        except ValueError:
+            raise ProtocolError(f"bad {what} length {raw!r}") from None
+
+    def _parse(self, pos: int):
+        """Parse one value at ``pos``; returns ``(value, next_pos)`` or
+        ``(_INCOMPLETE, pos)`` when the buffer ends mid-value."""
+        if pos >= len(self._buf):
+            return _INCOMPLETE, pos
+        marker = self._buf[pos:pos + 1]
+        if marker in (b"+", b"-", b":"):
+            end = self._find_line(pos)
+            if end is None:
+                return _INCOMPLETE, pos
+            line = bytes(self._buf[pos + 1:end - 2])
+            if marker == b":":
+                try:
+                    return int(line), end
+                except ValueError:
+                    raise ProtocolError(f"bad integer {line!r}") from None
+            text = line.decode("utf-8", "replace")
+            if marker == b"+":
+                return text, end
+            code, _, message = text.partition(" ")
+            return RespError(code or "ERR", message), end
+        if marker == b"$":
+            end = self._find_line(pos)
+            if end is None:
+                return _INCOMPLETE, pos
+            length = self._parse_int_line(pos, end, "bulk")
+            if length == -1:
+                return None, end
+            if length < 0 or length > MAX_BULK:
+                raise ProtocolError(f"bulk length {length} out of range")
+            if len(self._buf) < end + length + 2:
+                return _INCOMPLETE, pos
+            data = bytes(self._buf[end:end + length])
+            if self._buf[end + length:end + length + 2] != b"\r\n":
+                raise ProtocolError("bulk string missing CRLF terminator")
+            return data, end + length + 2
+        if marker == b"*":
+            end = self._find_line(pos)
+            if end is None:
+                return _INCOMPLETE, pos
+            count = self._parse_int_line(pos, end, "array")
+            if count == -1:
+                return None, end
+            if count < 0 or count > MAX_ARRAY:
+                raise ProtocolError(f"array length {count} out of range")
+            items = []
+            cursor = end
+            for _ in range(count):
+                value, cursor = self._parse(cursor)
+                if value is _INCOMPLETE:
+                    return _INCOMPLETE, pos
+                items.append(value)
+            return items, cursor
+        # inline command: a bare CRLF-terminated line
+        end = self._find_line(pos)
+        if end is None:
+            return _INCOMPLETE, pos
+        return _Inline(bytes(self._buf[pos:end - 2])), end
+
+    def next_value(self):
+        """One complete RESP value, or ``None`` if more bytes are needed.
+
+        Null bulk/array values come back as the :data:`NULL` sentinel so
+        callers can tell them apart from "incomplete".
+        """
+        value, cursor = self._parse(0)
+        if value is _INCOMPLETE:
+            return None
+        del self._buf[:cursor]
+        if value is None:
+            return NULL
+        return value
+
+    def next_request(self) -> list[bytes] | None:
+        """One complete client request as a list of ``bytes`` args, or
+        ``None`` if more bytes are needed.  Accepts RESP arrays of bulk
+        strings and inline commands; anything else is a protocol error."""
+        value = self.next_value()
+        if value is None:
+            return None
+        if isinstance(value, _Inline):
+            if not value.line.strip():
+                return []
+            return value.line.split()
+        if not isinstance(value, list):
+            raise ProtocolError("request must be an array of bulk strings")
+        args: list[bytes] = []
+        for item in value:
+            if not isinstance(item, (bytes, bytearray)):
+                raise ProtocolError("request args must be bulk strings")
+            args.append(bytes(item))
+        return args
+
+
+class _Inline:
+    """Marker wrapper for an inline command line."""
+
+    __slots__ = ("line",)
+
+    def __init__(self, line: bytes) -> None:
+        self.line = line
+
+
+class _Null:
+    """Parsed RESP null (``$-1`` / ``*-1``); distinct from "incomplete"."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "NULL"
+
+    def __bool__(self) -> bool:
+        return False
+
+
+NULL = _Null()

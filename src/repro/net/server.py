@@ -1,0 +1,573 @@
+"""The asyncio TCP server fronting any ``repro.open()`` store.
+
+Layer map (one connection)::
+
+    socket -> RespParser -> dispatch -> bounded executor -> store
+                 |             |                               |
+                 |        admission control            lock_for(key)
+                 v             v                               v
+            read pause    -OVERLOADED                 per-shard parallel
+            (backpressure)                            blocking invocation
+
+Concurrency model
+-----------------
+The event loop owns every connection; blocking store calls run on a
+bounded ``ThreadPoolExecutor``, each wrapped in the store's
+``lock_for(key)`` -- a per-shard lock on a :class:`ShardedStore`, so
+pipelined requests hitting different shards execute in parallel while
+one shard's engine stack stays single-threaded.
+
+Pipelining & backpressure
+-------------------------
+Each connection runs a reader task (parse request -> dispatch) and a
+writer task (await replies *in request order* -> write).  A
+per-connection semaphore of ``max_pipeline`` slots is taken before
+dispatch and released only after the reply bytes are flushed, so a
+client that stops reading (or floods requests) stalls its own reader
+-- TCP backpressure end to end -- without touching other connections.
+
+Admission control
+-----------------
+Two global gates checked in the event loop before dispatch:
+``max_inflight`` requests and ``max_inflight_bytes`` of request
+payload.  A request over either limit is answered ``-OVERLOADED``
+immediately (in order) instead of queueing unboundedly; PING / INFO /
+QUIT always pass so health checks work under overload.
+
+Graceful drain
+--------------
+``stop()`` closes the listener, wakes every connection's reader (no
+new requests), lets queued in-flight requests finish and their replies
+flush, then closes connections, the executor, and -- if the server
+owns it -- the store.  Scans are materialized (bounded by
+``max_scan_keys``) and explicitly closed inside the executor call, so
+a drain never strands per-shard iterators.
+
+Error mapping
+-------------
+The PR 4 degraded-mode semantics survive the wire: a quarantined range
+maps to ``-UNAVAILABLE`` (typed, retryable-after-repair) while healthy
+ranges keep serving; anything else unexpected maps to ``-ERR``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+from repro.errors import KeyRangeUnavailable, ReproError, ShardUnavailable
+from repro.kvstore import KVStoreBase
+from repro.lsm.wal import WriteBatch
+from repro.net.protocol import (
+    ProtocolError,
+    RespParser,
+    encode_array,
+    encode_bulk,
+    encode_error,
+    encode_int,
+    encode_simple,
+)
+from repro.obs.bus import Observability, apply_taps
+from repro.obs.events import (
+    NetConnClose,
+    NetConnOpen,
+    NetDrain,
+    NetOverload,
+    NetRequest,
+)
+
+#: commands admission control always lets through
+CONTROL_COMMANDS = frozenset({b"PING", b"INFO", b"QUIT"})
+
+OK = encode_simple("OK")
+PONG = encode_simple("PONG")
+
+
+@dataclass
+class ServerConfig:
+    """Tunables for one :class:`KVServer`."""
+
+    host: str = "127.0.0.1"
+    port: int = 0                      # 0: ephemeral, read server.address
+    max_pipeline: int = 128            # per-connection in-flight requests
+    max_inflight: int = 512            # global in-flight requests
+    max_inflight_bytes: int = 32 * 1024 * 1024  # global queued payload
+    max_scan_keys: int = 1000          # hard cap per SCAN reply
+    executor_workers: int | None = None  # default: shards + 2
+    drain_timeout: float = 10.0        # seconds to wait for in-flight
+
+
+class _Connection:
+    """Per-connection state shared by the reader and writer tasks."""
+
+    __slots__ = ("peer", "parser", "replies", "slots", "quit",
+                 "requests", "reason")
+
+    def __init__(self, peer: str, max_pipeline: int) -> None:
+        self.peer = peer
+        self.parser = RespParser()
+        #: ordered (future-of-reply-bytes, slot_held) queue -> writer task
+        self.replies: asyncio.Queue = asyncio.Queue()
+        self.slots = asyncio.Semaphore(max_pipeline)
+        self.quit = False
+        self.requests = 0
+        self.reason = "eof"
+
+
+class KVServer:
+    """RESP-subset server over one store (single or sharded)."""
+
+    #: tap identity: `repro trace` / `repro metrics` collect the server
+    #: like a store, so the net.* family lands in their output
+    name = "net"
+    quarantined_tables = 0
+
+    def __init__(self, store: KVStoreBase,
+                 config: ServerConfig | None = None, *,
+                 owns_store: bool = False) -> None:
+        self.store = store
+        self.config = config or ServerConfig()
+        self._owns_store = owns_store
+        shards = len(getattr(store, "shards", ())) or 1
+        self._workers = self.config.executor_workers or shards + 2
+        self._executor: ThreadPoolExecutor | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._drained = asyncio.Event()
+        self._finished = asyncio.Event()
+        self._stopped = False
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._connections: set[_Connection] = set()
+        self._inflight = 0
+        self._inflight_bytes = 0
+        self._obs = None
+        self.obs = Observability("net")
+        self.obs.bind(self)
+        self.obs.arm()  # INFO and `repro serve` always report counters
+        m = self.obs.metrics
+        m.gauge("net.connections_active", lambda: len(self._connections))
+        m.gauge("net.inflight", lambda: self._inflight)
+        m.gauge("net.inflight_bytes", lambda: self._inflight_bytes)
+        apply_taps(self)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> tuple[str, int]:
+        """Bind and start accepting; returns the listening address."""
+        self._executor = ThreadPoolExecutor(
+            max_workers=self._workers, thread_name_prefix="repro-net")
+        self._server = await asyncio.start_server(
+            self._handle, self.config.host, self.config.port)
+        return self.address
+
+    @property
+    def address(self) -> tuple[str, int]:
+        sock = self._server.sockets[0]
+        return sock.getsockname()[:2]
+
+    async def stop(self) -> None:
+        """Graceful drain: stop accepting, finish in-flight, close."""
+        if self._stopped:
+            await self._finished.wait()
+            return
+        self._stopped = True
+        self._server.close()
+        await self._server.wait_closed()
+        obs = self._obs
+        if obs is not None:
+            obs.emit(NetDrain(ts=time.monotonic(),
+                              connections=len(self._connections),
+                              inflight=self._inflight))
+        for conn in self._connections:
+            conn.reason = "drain"
+        self._drained.set()
+        if self._conn_tasks:
+            done, pending = await asyncio.wait(
+                self._conn_tasks, timeout=self.config.drain_timeout)
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+        self._executor.shutdown(wait=True)
+        if self._owns_store:
+            self.store.close()
+        self._finished.set()
+
+    async def serve_forever(self) -> None:
+        """Block until a :meth:`stop` (scheduled from a signal handler
+        or another task) has fully drained the server."""
+        await self._finished.wait()
+
+    # -- connection handling -------------------------------------------------
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        self._conn_tasks.add(task)
+        task.add_done_callback(self._conn_tasks.discard)
+        peername = writer.get_extra_info("peername")
+        peer = f"{peername[0]}:{peername[1]}" if peername else "?"
+        conn = _Connection(peer, self.config.max_pipeline)
+        self._connections.add(conn)
+        obs = self._obs
+        if obs is not None:
+            obs.emit(NetConnOpen(ts=time.monotonic(), peer=peer))
+        writer_task = asyncio.get_running_loop().create_task(
+            self._write_loop(conn, writer))
+        try:
+            await self._read_loop(conn, reader)
+        except ProtocolError as exc:
+            conn.reason = "protocol"
+            await conn.replies.put(
+                (_done(encode_error("ERR", f"protocol: {exc}")), False))
+        except (ConnectionResetError, BrokenPipeError):
+            conn.reason = "reset"
+        finally:
+            await conn.replies.put(None)  # writer sentinel: flush then stop
+            await writer_task
+            self._connections.discard(conn)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+            obs = self._obs
+            if obs is not None:
+                obs.emit(NetConnClose(ts=time.monotonic(), peer=peer,
+                                      requests=conn.requests,
+                                      reason=conn.reason))
+
+    async def _read_loop(self, conn: _Connection,
+                         reader: asyncio.StreamReader) -> None:
+        loop = asyncio.get_running_loop()
+        while not conn.quit:
+            if self._drained.is_set():
+                conn.reason = "drain"
+                return
+            read = loop.create_task(reader.read(65536))
+            drain = loop.create_task(self._drained.wait())
+            done, _pending = await asyncio.wait(
+                {read, drain}, return_when=asyncio.FIRST_COMPLETED)
+            if read not in done:
+                read.cancel()
+                await asyncio.gather(read, return_exceptions=True)
+                conn.reason = "drain"
+                return
+            drain.cancel()
+            await asyncio.gather(drain, return_exceptions=True)
+            data = read.result()
+            if not data:
+                return
+            conn.parser.feed(data)
+            while not conn.quit:
+                request = conn.parser.next_request()
+                if request is None:
+                    break
+                if request:  # empty inline line: ignore
+                    await self._dispatch(conn, request)
+
+    async def _write_loop(self, conn: _Connection,
+                          writer: asyncio.StreamWriter) -> None:
+        """Write replies in request order; slow readers block here,
+        which (via the slot semaphore) pauses the connection's reads."""
+        while True:
+            entry = await conn.replies.get()
+            if entry is None:
+                break
+            future, holds_slot = entry
+            try:
+                try:
+                    payload = await future
+                except asyncio.CancelledError:
+                    raise
+                except Exception as exc:  # a bug below the mapper: keep serving
+                    payload = encode_error(
+                        "ERR", f"internal {type(exc).__name__}: {exc}")
+                try:
+                    writer.write(payload)
+                    await writer.drain()
+                except (ConnectionResetError, BrokenPipeError):
+                    conn.reason = "reset"
+            finally:
+                if holds_slot:
+                    conn.slots.release()
+
+    # -- dispatch ------------------------------------------------------------
+
+    async def _dispatch(self, conn: _Connection, request: list[bytes]) -> None:
+        conn.requests += 1
+        command = bytes(request[0]).upper()
+        args = request[1:]
+        t0 = time.monotonic()
+
+        # control commands: answered from the loop, never shed
+        if command in CONTROL_COMMANDS:
+            reply = self._control(conn, command)
+            self._note(command, True, t0)
+            await conn.replies.put((_done(reply), False))
+            return
+
+        nbytes = sum(len(a) for a in args)
+        if (self._inflight >= self.config.max_inflight
+                or self._inflight_bytes + nbytes
+                > self.config.max_inflight_bytes):
+            obs = self._obs
+            if obs is not None:
+                obs.emit(NetOverload(
+                    ts=t0, command=command.decode(),
+                    inflight=self._inflight,
+                    inflight_bytes=self._inflight_bytes))
+            self._note(command, False, t0)
+            reply = encode_error(
+                "OVERLOADED",
+                f"{self._inflight} requests / "
+                f"{self._inflight_bytes} bytes in flight")
+            await conn.replies.put((_done(reply), False))
+            return
+
+        # read backpressure: no more than max_pipeline dispatched per conn
+        await conn.slots.acquire()
+        self._inflight += 1
+        self._inflight_bytes += nbytes
+        loop = asyncio.get_running_loop()
+        future = loop.run_in_executor(
+            self._executor, self._execute, command, args)
+
+        def _settle(fut: asyncio.Future, nbytes=nbytes,
+                    command=command, t0=t0) -> None:
+            self._inflight -= 1
+            self._inflight_bytes -= nbytes
+            # ok at the wire level: any "-..." reply counts as an error
+            ok = (not fut.cancelled() and fut.exception() is None
+                  and not fut.result().startswith(b"-"))
+            self._note(command, ok, t0)
+
+        future.add_done_callback(_settle)
+        await conn.replies.put((future, True))
+
+    def _note(self, command: bytes, ok: bool, t0: float) -> None:
+        obs = self._obs
+        if obs is not None:
+            obs.emit(NetRequest(ts=t0, command=command.decode(), ok=ok,
+                                latency=time.monotonic() - t0))
+
+    def _control(self, conn: _Connection, command: bytes) -> bytes:
+        if command == b"PING":
+            return PONG
+        if command == b"QUIT":
+            conn.quit = True
+            conn.reason = "quit"
+            return OK
+        return encode_bulk(self.info().encode())
+
+    # -- command execution (executor threads) --------------------------------
+
+    def _execute(self, command: bytes, args: list[bytes]) -> bytes:
+        try:
+            handler = _HANDLERS.get(command)
+            if handler is None:
+                return encode_error(
+                    "ERR", f"unknown command {command.decode(errors='replace')!r}")
+            return handler(self, args)
+        except _BadRequest as exc:
+            return encode_error("ERR", str(exc))
+        except ShardUnavailable as exc:
+            return encode_error("UNAVAILABLE", f"shard: {exc}")
+        except KeyRangeUnavailable as exc:
+            return encode_error("UNAVAILABLE", str(exc))
+        except ReproError as exc:
+            return encode_error("ERR", f"{type(exc).__name__}: {exc}")
+
+    def _cmd_get(self, args: list[bytes]) -> bytes:
+        (key,) = _arity(b"GET", args, 1)
+        with self.store.lock_for(key):
+            return encode_bulk(self.store.get(key))
+
+    def _cmd_set(self, args: list[bytes]) -> bytes:
+        key, value = _arity(b"SET", args, 2)
+        with self.store.lock_for(key):
+            self.store.put(key, value)
+        return OK
+
+    def _cmd_del(self, args: list[bytes]) -> bytes:
+        (key,) = _arity(b"DEL", args, 1)
+        with self.store.lock_for(key):
+            self.store.delete(key)
+        return encode_int(1)
+
+    def _cmd_mset(self, args: list[bytes]) -> bytes:
+        if not args or len(args) % 2:
+            raise _BadRequest("MSET wants key value [key value ...]")
+        batch = WriteBatch()
+        for i in range(0, len(args), 2):
+            batch.put(args[i], args[i + 1])
+        with self.store.lock_for(None):
+            self.store.write_batch(batch)
+        return OK
+
+    def _cmd_scan(self, args: list[bytes]) -> bytes:
+        """``SCAN [start [end [limit]]]``; empty bulk = unbounded.
+
+        Replies ``[partial, [k1, v1, ...]]``: the sharded facade's
+        partial flag (failed shards skipped mid-merge) survives the
+        wire.  The scan is materialized and *closed* here, inside the
+        lock, so an abandoned client never pins shard iterators.
+        """
+        if len(args) > 3:
+            raise _BadRequest("SCAN wants [start [end [limit]]]")
+        start = args[0] if len(args) > 0 and args[0] else None
+        end = args[1] if len(args) > 1 and args[1] else None
+        limit = self.config.max_scan_keys
+        if len(args) > 2:
+            try:
+                limit = int(args[2])
+            except ValueError:
+                raise _BadRequest(f"bad SCAN limit {args[2]!r}") from None
+        limit = max(0, min(limit, self.config.max_scan_keys))
+        flat: list[bytes] = []
+        with self.store.lock_for(None):
+            scan = self.store.scan(start, end, limit)
+            try:
+                for key, value in scan:
+                    flat.append(key)
+                    flat.append(value)
+            finally:
+                close = getattr(scan, "close", None)
+                if close is not None:
+                    close()
+        partial = int(bool(getattr(scan, "partial", False)))
+        return encode_array([partial, flat])
+
+    # -- INFO ----------------------------------------------------------------
+
+    def info(self) -> str:
+        """Redis-style ``key:value`` lines: store identity, shard
+        health, degraded ranges, and every ``net.*`` counter/gauge."""
+        store = self.store
+        shards = getattr(store, "shards", None)
+        health = (store.shard_health() if shards is not None
+                  else ["degraded" if store.quarantined_tables
+                        else "healthy"])
+        lines = [
+            f"store:{store.name}",
+            f"shards:{len(shards) if shards is not None else 1}",
+            f"shard_health:{','.join(health)}",
+            f"degraded_ranges:{len(store.degraded_ranges())}",
+            f"draining:{int(self._drained.is_set())}",
+        ]
+        m = self.obs.metrics
+        for name in sorted(m.counters):
+            if name.startswith("net."):
+                lines.append(f"{name}:{m.counters[name].value}")
+        for name in sorted(m.gauges):
+            if name.startswith("net."):
+                lines.append(f"{name}:{m.gauges[name].value:g}")
+        hist = m.histograms.get("latency.net")
+        if hist is not None and hist.count:
+            q = hist.quantiles()
+            lines.append(f"latency_p50_us:{q['p50'] * 1e6:.1f}")
+            lines.append(f"latency_p99_us:{q['p99'] * 1e6:.1f}")
+        return "\r\n".join(lines) + "\r\n"
+
+
+class _BadRequest(ReproError):
+    """Malformed arguments for a known command (-ERR, connection lives)."""
+
+
+def _arity(command: bytes, args: list[bytes], n: int) -> list[bytes]:
+    if len(args) != n:
+        raise _BadRequest(
+            f"{command.decode()} wants {n} argument(s), got {len(args)}")
+    return args
+
+
+_HANDLERS = {
+    b"GET": KVServer._cmd_get,
+    b"SET": KVServer._cmd_set,
+    b"DEL": KVServer._cmd_del,
+    b"MSET": KVServer._cmd_mset,
+    b"SCAN": KVServer._cmd_scan,
+}
+
+
+def _done(payload: bytes) -> asyncio.Future:
+    future = asyncio.get_running_loop().create_future()
+    future.set_result(payload)
+    return future
+
+
+# -- running a server off the main thread -------------------------------------
+
+class ServerThread:
+    """Run a :class:`KVServer` on a dedicated event-loop thread.
+
+    The blessed way for tests, the load generator, and ``repro
+    bench-net`` to put a live TCP endpoint in front of an in-process
+    store::
+
+        handle = ServerThread(store).start()
+        ... connect NetClient(*handle.address) ...
+        handle.stop()          # graceful drain
+    """
+
+    def __init__(self, store: KVStoreBase,
+                 config: ServerConfig | None = None, *,
+                 owns_store: bool = False) -> None:
+        self._store = store
+        self._config = config or ServerConfig()
+        self._owns_store = owns_store
+        self.server: KVServer | None = None
+        self.address: tuple[str, int] | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread = None
+        self._startup: Exception | None = None
+
+    def start(self, timeout: float = 10.0) -> "ServerThread":
+        ready = threading.Event()
+
+        def run() -> None:
+            loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(loop)
+            self._loop = loop
+            try:
+                self.server = KVServer(self._store, self._config,
+                                       owns_store=self._owns_store)
+                self.address = loop.run_until_complete(self.server.start())
+            except Exception as exc:  # surface bind errors to start()
+                self._startup = exc
+                ready.set()
+                loop.close()
+                return
+            ready.set()
+            try:
+                loop.run_forever()
+            finally:
+                loop.run_until_complete(loop.shutdown_asyncgens())
+                loop.close()
+
+        self._thread = threading.Thread(
+            target=run, name="repro-net-server", daemon=True)
+        self._thread.start()
+        if not ready.wait(timeout):
+            raise ReproError("server failed to start within timeout")
+        if self._startup is not None:
+            raise self._startup
+        return self
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Graceful drain from any thread; joins the loop thread."""
+        if self._loop is None or not self._loop.is_running():
+            return
+        future = asyncio.run_coroutine_threadsafe(
+            self.server.stop(), self._loop)
+        future.result(timeout)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout)
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *_exc) -> None:
+        self.stop()

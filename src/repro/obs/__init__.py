@@ -40,6 +40,11 @@ from repro.obs.events import (
     GetEvent,
     ManifestAppend,
     MediaCacheClean,
+    NetConnClose,
+    NetConnOpen,
+    NetDrain,
+    NetOverload,
+    NetRequest,
     PutEvent,
     RMWEvent,
     ScanEvent,
@@ -67,6 +72,7 @@ __all__ = [
     "RMWEvent", "MediaCacheClean", "ZoneReset",
     "WALAppend", "ManifestAppend", "ExtentAllocate", "ZoneGC",
     "SetRegister", "SetFade",
+    "NetConnOpen", "NetConnClose", "NetRequest", "NetOverload", "NetDrain",
     "Counter", "Gauge", "Histogram", "MetricsRegistry", "merge_registries",
     "JsonLinesWriter", "read_jsonl",
 ]

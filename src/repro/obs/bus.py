@@ -206,6 +206,23 @@ def _on_quarantine(m: MetricsRegistry, e) -> None:
     m.counter("resilience.quarantine_events").inc()
 
 
+def _on_net_request(m: MetricsRegistry, e) -> None:
+    m.counter("net.requests").inc()
+    m.counter(f"net.cmd.{e.command.lower()}").inc()
+    if not e.ok:
+        m.counter("net.errors").inc()
+    m.histogram("latency.net").record(e.latency)
+
+
+def _on_net_overload(m: MetricsRegistry, e) -> None:
+    m.counter("net.overloads").inc()
+
+
+def _on_net_conn_close(m: MetricsRegistry, e) -> None:
+    m.counter("net.conns_closed").inc()
+    m.counter(f"net.close.{e.reason}").inc()
+
+
 _METRIC_UPDATES: dict[str, Callable[[MetricsRegistry, Event], None]] = {
     "op.put": _on_put,
     "op.get": _on_get,
@@ -230,6 +247,11 @@ _METRIC_UPDATES: dict[str, Callable[[MetricsRegistry, Event], None]] = {
     "scrub.pass": _on_scrub,
     "table.quarantine": _on_quarantine,
     "repair.drop": _count("repair.drops"),
+    "net.conn_open": _count("net.conns_opened"),
+    "net.conn_close": _on_net_conn_close,
+    "net.request": _on_net_request,
+    "net.overload": _on_net_overload,
+    "net.drain": _count("net.drains"),
 }
 
 

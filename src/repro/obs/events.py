@@ -230,6 +230,58 @@ class RepairDrop(Event):
     reason: str
 
 
+# -- network serving layer ----------------------------------------------------
+# ``ts`` on net events is wall-clock monotonic seconds, not simulated
+# drive time: the server lives outside the simulation, fronting stores
+# whose internal clocks keep their own (simulated) timelines.
+
+@dataclass
+class NetConnOpen(Event):
+    """A client connection was accepted."""
+
+    TYPE = "net.conn_open"
+    peer: str
+
+
+@dataclass
+class NetConnClose(Event):
+    """A client connection ended (QUIT, EOF, drain, or protocol error)."""
+
+    TYPE = "net.conn_close"
+    peer: str
+    requests: int
+    reason: str  # "eof" | "quit" | "drain" | "protocol" | "reset"
+
+
+@dataclass
+class NetRequest(Event):
+    """One request finished (reply written or error mapped)."""
+
+    TYPE = "net.request"
+    command: str
+    ok: bool
+    latency: float  # wall seconds from parse to reply-ready
+
+
+@dataclass
+class NetOverload(Event):
+    """Admission control rejected a request with ``-OVERLOADED``."""
+
+    TYPE = "net.overload"
+    command: str
+    inflight: int
+    inflight_bytes: int
+
+
+@dataclass
+class NetDrain(Event):
+    """Graceful shutdown started: listener closed, in-flight finishing."""
+
+    TYPE = "net.drain"
+    connections: int
+    inflight: int
+
+
 #: wire name -> event class, for filter validation and trace replay
 EVENT_TYPES: dict[str, type[Event]] = {
     cls.TYPE: cls
@@ -239,5 +291,6 @@ EVENT_TYPES: dict[str, type[Event]] = {
         BandCoalesce, BandSplit, RMWEvent, MediaCacheClean, ZoneReset,
         WALAppend, ManifestAppend, ExtentAllocate, ZoneGC,
         SetRegister, SetFade, ScrubEvent, QuarantineEvent, RepairDrop,
+        NetConnOpen, NetConnClose, NetRequest, NetOverload, NetDrain,
     )
 }

@@ -34,7 +34,7 @@ so each worker thread drives exactly one shard.
 from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, Iterable, Iterator, Sequence
+from typing import Callable, ContextManager, Iterable, Iterator, Sequence
 
 from repro.errors import (
     DriveError,
@@ -106,11 +106,19 @@ class ShardedScan:
     failed mid-stream) and ``partial`` (true when any shard was
     skipped).  A shard failing *mid-stream* ends its contribution but
     not the scan -- surviving shards keep feeding the merge.
+
+    :meth:`close` (or leaving the ``with`` block) releases the merge
+    *and* every per-shard guarded stream deterministically -- an early
+    termination (e.g. a network client disconnecting mid-SCAN) must not
+    leave shard iterators suspended until garbage collection.
     """
 
     def __init__(self, pairs: Iterator[tuple[bytes, bytes]],
-                 skipped: list[int]) -> None:
+                 skipped: list[int],
+                 streams: Sequence[Iterator[tuple[bytes, bytes]]] = ()
+                 ) -> None:
         self._pairs = pairs
+        self._streams = list(streams)
         #: shared with the stream guards, so mid-scan failures appear here
         self.skipped_shards = skipped
 
@@ -125,9 +133,35 @@ class ShardedScan:
         return next(self._pairs)
 
     def close(self) -> None:
-        close = getattr(self._pairs, "close", None)
-        if close is not None:
-            close()
+        """Release the merged stream and each per-shard source."""
+        for it in (self._pairs, *self._streams):
+            close = getattr(it, "close", None)
+            if close is not None:
+                close()
+
+    def __enter__(self) -> "ShardedScan":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+class _MultiLock:
+    """Acquire several locks in a fixed order (release in reverse)."""
+
+    __slots__ = ("_locks",)
+
+    def __init__(self, locks: Sequence[ContextManager]) -> None:
+        self._locks = list(locks)
+
+    def __enter__(self) -> "_MultiLock":
+        for lock in self._locks:
+            lock.__enter__()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        for lock in reversed(self._locks):
+            lock.__exit__(exc_type, exc, tb)
 
 
 class ShardedSnapshot:
@@ -208,6 +242,7 @@ class ShardedStore(KVStoreBase):
         self._max_workers = max_workers
         self._pool: ThreadPoolExecutor | None = None
         self._failed: set[int] = set()
+        self._closed = False
         self._obs = None
         self.obs = FanoutObservability(self.name, self.shards)
         self._register_gauges(self.obs.metrics)
@@ -321,7 +356,7 @@ class ShardedStore(KVStoreBase):
         merged = _limited(merge_shard_scans(streams), limit)
         if self._obs is not None:
             merged = self._observed_scan(merged)
-        return ShardedScan(merged, skipped)
+        return ShardedScan(merged, skipped, streams)
 
     def _observed_scan(self, merged: Iterator[tuple[bytes, bytes]]
                        ) -> Iterator[tuple[bytes, bytes]]:
@@ -406,11 +441,25 @@ class ShardedStore(KVStoreBase):
             self._live_shards())
 
     def close(self) -> None:
+        """Close every shard and the fan-out pool.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
         self._fanout(lambda shard: shard.close(),
                      [(shard,) for shard in self.shards])
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+
+    def lock_for(self, key: bytes | None = None) -> ContextManager:
+        """Per-shard serialization for out-of-simulation callers: a
+        keyed request locks only its owning shard (so the net server's
+        executor threads drive different shards in parallel); key-less
+        operations (scans, batches, flush) take every shard's lock in
+        index order."""
+        if key is not None:
+            return self.shards[self.router.shard_of(key)].lock_for(key)
+        return _MultiLock([shard.lock_for() for shard in self.shards])
 
     def reopen(self) -> "ShardedStore":
         """Crash-restart every shard, running per-shard recovery.
@@ -422,6 +471,7 @@ class ShardedStore(KVStoreBase):
         itself fails stays FAILED; the facade never stops serving the
         others.
         """
+        self._closed = False
         for index, shard in enumerate(self.shards):
             try:
                 shard.reopen()
@@ -576,6 +626,9 @@ class ShardedStore(KVStoreBase):
         merged.gauge("resilience.degraded_ranges").set(
             len(self.degraded_ranges()))
         merged.gauge("resilience.failed_shards").set(len(self._failed))
+        health = self.shard_health()
+        for state in (HEALTHY, DEGRADED, FAILED):
+            merged.gauge(f"shard.{state}").set(health.count(state))
         return merged
 
     def describe(self) -> str:

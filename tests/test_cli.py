@@ -113,6 +113,18 @@ class TestCliMetrics:
         payload = json.loads(out[out.index("{"):])
         assert "SEALDB" in payload
         assert payload["SEALDB"]["counters"]["ops.put"] > 0
+        assert payload["SEALDB"]["shard_health"] == ["healthy"]
+
+    def test_metrics_network_includes_shard_health_and_net(self, capsys):
+        """The serving experiment surfaces the net.* family and every
+        store group carries its shard_health line."""
+        assert cli.main(["metrics", "network", "--db-mib", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "net metrics" in out
+        assert "net.requests" in out
+        assert "latency.net" in out
+        assert "shard_health" in out
+        assert "healthy,healthy" in out          # the 2-shard fleet
 
 
 class TestCliBaseline:

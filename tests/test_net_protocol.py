@@ -1,0 +1,154 @@
+"""RESP-subset codec: encoding, incremental parsing, protocol errors."""
+
+import pytest
+
+from repro.net.protocol import (
+    NULL,
+    MAX_BULK,
+    ProtocolError,
+    RespError,
+    RespParser,
+    encode_array,
+    encode_bulk,
+    encode_command,
+    encode_error,
+    encode_int,
+    encode_simple,
+)
+
+pytestmark = pytest.mark.net
+
+
+class TestEncoding:
+    def test_simple(self):
+        assert encode_simple("OK") == b"+OK\r\n"
+
+    def test_error_flattens_newlines(self):
+        wire = encode_error("ERR", "multi\r\nline")
+        assert b"\r\n" not in wire[:-2]
+        assert wire.startswith(b"-ERR ")
+
+    def test_int(self):
+        assert encode_int(-7) == b":-7\r\n"
+
+    def test_bulk_and_null(self):
+        assert encode_bulk(b"hi") == b"$2\r\nhi\r\n"
+        assert encode_bulk(None) == b"$-1\r\n"
+
+    def test_array_nested(self):
+        wire = encode_array([1, [b"a"], None])
+        assert wire == b"*3\r\n:1\r\n*1\r\n$1\r\na\r\n$-1\r\n"
+
+    def test_command(self):
+        assert (encode_command([b"GET", b"k"])
+                == b"*2\r\n$3\r\nGET\r\n$1\r\nk\r\n")
+
+
+def _parse_all(wire: bytes):
+    parser = RespParser()
+    parser.feed(wire)
+    out = []
+    while (value := parser.next_value()) is not None:
+        out.append(value)
+    return out
+
+
+class TestParsing:
+    def test_round_trip_values(self):
+        wire = (encode_simple("PONG") + encode_int(42) + encode_bulk(b"v")
+                + encode_array([b"a", 1]) + encode_bulk(None))
+        values = _parse_all(wire)
+        assert values == ["PONG", 42, b"v", [b"a", 1], NULL]
+
+    def test_error_value(self):
+        (value,) = _parse_all(encode_error("OVERLOADED", "shed"))
+        assert isinstance(value, RespError)
+        assert value.code == "OVERLOADED"
+        assert value.message == "shed"
+
+    def test_binary_safe_bulk(self):
+        payload = bytes(range(256)) + b"\r\n$9\r\n"
+        (value,) = _parse_all(encode_bulk(payload))
+        assert value == payload
+
+    def test_incremental_byte_at_a_time(self):
+        wire = encode_command([b"SET", b"key", b"value"])
+        parser = RespParser()
+        seen = []
+        for i, byte in enumerate(wire):
+            parser.feed(bytes([byte]))
+            request = parser.next_request()
+            if request is not None:
+                seen.append((i, request))
+        assert seen == [(len(wire) - 1, [b"SET", b"key", b"value"])]
+
+    def test_pipelined_requests_in_order(self):
+        wire = b"".join(encode_command([b"GET", b"k%d" % i])
+                        for i in range(5))
+        parser = RespParser()
+        parser.feed(wire)
+        keys = []
+        while (request := parser.next_request()) is not None:
+            keys.append(request[1])
+        assert keys == [b"k0", b"k1", b"k2", b"k3", b"k4"]
+        assert parser.buffered == 0
+
+    def test_inline_command(self):
+        parser = RespParser()
+        parser.feed(b"PING\r\n")
+        assert parser.next_request() == [b"PING"]
+
+    def test_inline_splits_args(self):
+        parser = RespParser()
+        parser.feed(b"GET  some-key\r\n")
+        assert parser.next_request() == [b"GET", b"some-key"]
+
+    def test_empty_inline_is_noop(self):
+        parser = RespParser()
+        parser.feed(b"\r\n")
+        assert parser.next_request() == []
+
+    def test_incomplete_returns_none(self):
+        parser = RespParser()
+        parser.feed(b"*2\r\n$3\r\nGET\r\n$5\r\nab")
+        assert parser.next_request() is None
+        parser.feed(b"cde\r\n")
+        assert parser.next_request() == [b"GET", b"abcde"]
+
+
+class TestProtocolErrors:
+    def test_bad_bulk_length(self):
+        parser = RespParser()
+        parser.feed(b"$abc\r\n")
+        with pytest.raises(ProtocolError):
+            parser.next_value()
+
+    def test_oversized_bulk_rejected(self):
+        parser = RespParser()
+        parser.feed(b"$%d\r\n" % (MAX_BULK + 1))
+        with pytest.raises(ProtocolError):
+            parser.next_value()
+
+    def test_negative_array_rejected(self):
+        parser = RespParser()
+        parser.feed(b"*-2\r\n")
+        with pytest.raises(ProtocolError):
+            parser.next_value()
+
+    def test_request_must_be_bulk_strings(self):
+        parser = RespParser()
+        parser.feed(b"*1\r\n:5\r\n")
+        with pytest.raises(ProtocolError):
+            parser.next_request()
+
+    def test_bulk_missing_terminator(self):
+        parser = RespParser()
+        parser.feed(b"$2\r\nhiXX")
+        with pytest.raises(ProtocolError):
+            parser.next_value()
+
+    def test_unterminated_line_bounded(self):
+        parser = RespParser()
+        parser.feed(b"+" + b"x" * (70 * 1024))
+        with pytest.raises(ProtocolError):
+            parser.next_value()
